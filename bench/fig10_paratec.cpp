@@ -1,0 +1,97 @@
+// EXP-F10 — reproduces Figure 10: the scaling of PARATEC on 32 nodes of
+// the simulated Dirac cluster with 32, 64, 128 and 256 MPI processes,
+// linked against the thunking CUBLAS wrappers, plus the sequential-MKL
+// baseline at 32 processes.
+//
+// Expected shape:
+//   * switching MKL -> CUBLAS at P=32 cuts the runtime by roughly a third
+//     (paper: 1976 s -> 1285 s, ~35 %),
+//   * cublasSetMatrix/cublasGetMatrix (blocking transfers of the thunking
+//     wrappers) dwarf the zgemm kernel time,
+//   * the code scales to 128 processes, then MPI — most prominently
+//     MPI_Gather — takes over at 256,
+//   * time in CUBLAS stays roughly constant (shrinking datasets offset by
+//     GPU sharing among the ranks of a node).
+#include <cstdio>
+
+#include "apps/paratec.hpp"
+#include "hostblas/blas.hpp"
+#include "mpisim/mpi.h"
+#include "support/harness.hpp"
+
+namespace {
+
+constexpr int kNodes = 32;
+
+struct Row {
+  int procs = 0;
+  const char* label = "";
+  double wall = 0, mpi = 0, cublas = 0;
+  double allreduce = 0, wait = 0, gather = 0;
+  double setmatrix = 0, getmatrix = 0, gpu_kernels = 0;
+};
+
+Row run_one(int procs, apps::paratec::BlasMode blas, const char* label) {
+  benchx::fresh_sim(kNodes, /*init_cost=*/0.05);
+  cusim::set_execute_bodies(false);
+  hostblas::cpu_model().execute_numerics = false;
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = procs;
+  cluster.ranks_per_node = (procs + kNodes - 1) / kNodes;
+  cluster.net.injection_contention = 0.30;  // the paper's suspected NUMA effect
+  ipm::Config cfg;
+  const ipm::JobProfile job = benchx::monitored_cluster_run(
+      cluster, cfg, "./paratec.x", [&](int) {
+        MPI_Init(nullptr, nullptr);
+        apps::paratec::Config pcfg;
+        pcfg.blas = blas;
+        apps::paratec::run_rank(pcfg);
+        MPI_Finalize();
+      });
+  cusim::set_execute_bodies(true);
+  hostblas::cpu_model().execute_numerics = true;
+  Row row;
+  row.procs = procs;
+  row.label = label;
+  row.wall = benchx::job_wall(job);
+  row.mpi = benchx::family_time(job, "MPI") / procs;
+  row.cublas = benchx::family_time(job, "CUBLAS") / procs;
+  row.allreduce = benchx::total_time(job, "MPI_Allreduce") / procs;
+  row.wait = (benchx::total_time(job, "MPI_Wait") +
+              benchx::total_time(job, "MPI_Waitall")) / procs;
+  row.gather = benchx::total_time(job, "MPI_Gather") / procs;
+  row.setmatrix = benchx::total_time(job, "cublasSetMatrix") / procs;
+  row.getmatrix = benchx::total_time(job, "cublasGetMatrix") / procs;
+  row.gpu_kernels = benchx::family_time(job, "GPU") / procs;
+  return row;
+}
+
+void print_row(const Row& r) {
+  std::printf("%4d %-8s %8.2f %8.2f %8.2f %9.2f %7.2f %8.2f %9.2f %9.2f %8.3f\n",
+              r.procs, r.label, r.wall, r.mpi, r.cublas, r.allreduce, r.wait, r.gather,
+              r.setmatrix, r.getmatrix, r.gpu_kernels);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("# EXP-F10: PARATEC scaling on 32 nodes (per-rank average seconds)");
+  std::printf("%4s %-8s %8s %8s %8s %9s %7s %8s %9s %9s %8s\n", "P", "BLAS", "wall",
+              "MPI", "CUBLAS", "Allreduce", "Wait", "Gather", "SetMatrix", "GetMatrix",
+              "zgemmGPU");
+  benchx::print_rule();
+  const Row mkl32 = run_one(32, apps::paratec::BlasMode::kHostMkl, "MKL");
+  print_row(mkl32);
+  Row cublas32;
+  for (const int procs : {32, 64, 128, 256}) {
+    const Row row = run_one(procs, apps::paratec::BlasMode::kCublasThunking, "CUBLAS");
+    if (procs == 32) cublas32 = row;
+    print_row(row);
+  }
+  benchx::print_rule();
+  std::printf("MKL -> CUBLAS speedup at P=32 : %.2fx (paper: 1976/1285 = 1.54x)\n",
+              mkl32.wall / cublas32.wall);
+  std::printf("transfers vs kernel at P=32   : %.1fx (SetMatrix+GetMatrix vs zgemm GPU)\n",
+              (cublas32.setmatrix + cublas32.getmatrix) / cublas32.gpu_kernels);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// EXP-F4/F5/F6 — reproduces Figures 4, 5 and 6 of the paper: the IPM
+// banner for the Fig. 3 `square` kernel in three monitoring modes:
+//   A. host-side timing only                      (Fig. 4)
+//   B. + GPU kernel timing via the event API       (Fig. 5)
+//   C. + implicit-host-blocking identification     (Fig. 6)
+//
+// Expected shape: in mode A the blocking D2H memcpy absorbs the kernel
+// duration and cudaMalloc carries the runtime-init cost; in mode B
+// @CUDA_EXEC_STRM00 appears with ~the same time as the D2H row; in mode C
+// the waiting moves into @CUDA_HOST_IDLE and the D2H row collapses to the
+// pure transfer time.
+#include <cstdio>
+
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "support/harness.hpp"
+
+namespace {
+
+const cusim::KernelDef& square_kernel() {
+  static const cusim::KernelDef def{
+      "square",
+      {.flops_per_thread = 1.0, .dram_bytes_per_thread = 0.0, .serial_iterations = 10000.0,
+       .efficiency = 0.054, .fixed_us = 0.0, .double_precision = true},
+      nullptr};
+  return def;
+}
+
+/// The Fig. 3 host program: malloc, H2D, kernel, D2H, free.
+void run_square() {
+  constexpr int kN = 100000;
+  const std::size_t size = kN * sizeof(double);
+  std::vector<double> a_h(kN, 3.0);
+  double* a_d = nullptr;
+  cudaMalloc(reinterpret_cast<void**>(&a_d), size);
+  cudaMemcpy(a_d, a_h.data(), size, cudaMemcpyHostToDevice);
+  cusim::launch(
+      square_kernel(), dim3(kN), dim3(1),
+      [](const cusim::LaunchGeom& g, double* a, int n) {
+        for (unsigned b = 0; b < g.grid.x; ++b) {
+          if (static_cast<int>(b) < n) a[b] = a[b] * a[b];
+        }
+      },
+      a_d, kN);
+  cudaMemcpy(a_h.data(), a_d, size, cudaMemcpyDeviceToHost);
+  cudaFree(a_d);
+}
+
+void run_mode(const char* title, bool kernel_timing, bool host_idle) {
+  benchx::fresh_sim(1);
+  ipm::Config cfg;
+  cfg.kernel_timing = kernel_timing;
+  cfg.host_idle = host_idle;
+  ipm::job_begin(cfg, "./cuda.ipm");
+  run_square();
+  const ipm::JobProfile job = ipm::job_end();
+  std::printf("\n=== %s ===\n", title);
+  std::fputs(ipm::banner_string(job, {.max_rows = 12, .full = false}).c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("# EXP-F4/F5/F6: IPM banner modes for the Fig. 3 square kernel");
+  run_mode("Fig. 4 — host-side timing only", false, false);
+  run_mode("Fig. 5 — + GPU kernel timing (@CUDA_EXEC_STRM00)", true, false);
+  run_mode("Fig. 6 — + host idle identification (@CUDA_HOST_IDLE)", true, true);
+  return 0;
+}

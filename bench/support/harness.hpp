@@ -1,0 +1,71 @@
+// Shared helpers for the experiment harnesses (bench/*).  Each harness
+// regenerates one table or figure of the paper: it builds a fresh simulated
+// cluster, runs the workload under IPM monitoring, and prints the same rows
+// or series the paper reports.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/cluster.hpp"
+#include "simcommon/clock.hpp"
+
+namespace benchx {
+
+/// Reset the whole simulation stack and configure a cluster of `nodes`
+/// Dirac-style nodes (one C2050 per node).
+inline void fresh_sim(int nodes, double init_cost = 1.29) {
+  cusim::Topology topo;
+  topo.nodes = nodes;
+  topo.timing.init_cost = init_cost;
+  cusim::configure(topo);
+  simx::reset_default_context();
+}
+
+/// Run `body(rank)` on a monitored cluster and return the aggregated job
+/// profile.  `body` must call MPI_Init/MPI_Finalize (the wrappers start and
+/// finalize per-rank monitoring).
+template <typename Body>
+ipm::JobProfile monitored_cluster_run(const mpisim::ClusterConfig& cluster,
+                                      const ipm::Config& ipm_cfg,
+                                      const std::string& command, Body&& body) {
+  ipm::job_begin(ipm_cfg, command);
+  mpisim::run_cluster(cluster, std::forward<Body>(body));
+  return ipm::job_end();
+}
+
+/// Job wallclock = slowest rank (what the banner's "wallclock" shows).
+inline double job_wall(const ipm::JobProfile& job) {
+  double wall = 0.0;
+  for (const auto& r : job.ranks) wall = std::max(wall, r.wallclock());
+  return wall;
+}
+
+/// Sum of tsum over all ranks for one exact event name.
+inline double total_time(const ipm::JobProfile& job, const std::string& name) {
+  double total = 0.0;
+  for (const auto& r : job.ranks) {
+    for (const auto& e : r.events) {
+      if (e.name == name) total += e.tsum;
+    }
+  }
+  return total;
+}
+
+/// Sum of per-rank family times ("MPI", "CUDA", "CUBLAS", "CUFFT", "GPU",
+/// "IDLE") over the whole job.
+inline double family_time(const ipm::JobProfile& job, const std::string& family) {
+  double total = 0.0;
+  for (const auto& r : job.ranks) total += r.time_in(family);
+  return total;
+}
+
+inline void print_rule() {
+  std::puts("-------------------------------------------------------------------------");
+}
+
+}  // namespace benchx

@@ -1,0 +1,61 @@
+// Example: molecular dynamics on a GPU cluster (the paper's §IV-E Amber
+// study).  Runs the PME MD skeleton on 16 nodes and prints the full-job
+// banner plus the derived GPU-utilization metrics the paper reports.
+//
+//   ./build/examples/amber_md [steps] [nodes]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/amber.hpp"
+#include "cudasim/control.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 16;
+  if (steps < 1 || nodes < 1) {
+    std::fprintf(stderr, "usage: amber_md [steps] [nodes]\n");
+    return 2;
+  }
+  std::printf("mini-Amber (PMEMD-like): %d steps, %d nodes, 23558 atoms\n\n", steps,
+              nodes);
+  cusim::Topology topo;
+  topo.nodes = nodes;
+  topo.timing.init_cost = 1.045;
+  cusim::configure(topo);
+  cusim::set_execute_bodies(false);
+
+  ipm::job_begin(ipm::Config{}, "pmemd.cuda.MPI -O -i mdin -c inpcrd.equil");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = nodes;
+  mpisim::run_cluster(cluster, [&](int) {
+    MPI_Init(nullptr, nullptr);
+    apps::amber::Config cfg;
+    cfg.timesteps = steps;
+    apps::amber::run_rank(cfg);
+    MPI_Finalize();
+  });
+  const ipm::JobProfile job = ipm::job_end();
+  cusim::set_execute_bodies(true);
+
+  ipm::write_banner(std::cout, job, {.max_rows = 16, .full = true});
+
+  double wall = 0.0;
+  double gpu = 0.0;
+  double idle = 0.0;
+  for (const auto& r : job.ranks) {
+    wall += r.wallclock();
+    gpu += r.time_in("GPU");
+    idle += r.time_in("IDLE");
+  }
+  std::printf("\nGPU utilization : %.2f %% of wallclock (paper: 35.96 %%)\n",
+              100.0 * gpu / wall);
+  std::printf("host idle       : %.2f %% (paper: 0.08 %% — async readbacks pay off)\n",
+              100.0 * idle / wall);
+  std::puts("the cudaThreadSynchronize row is the optimization opportunity the paper");
+  std::puts("points at: the CPU could compute instead of waiting for the GPU.");
+  return 0;
+}

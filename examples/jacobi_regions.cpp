@@ -1,0 +1,104 @@
+// Example: a GPU Jacobi stencil solver with user regions and asynchronous
+// boundary readback — shows the region API (the MPI_Pcontrol-style
+// attribution real IPM offers) and how async copies keep @CUDA_HOST_IDLE
+// near zero even with per-iteration host work.
+//
+//   ./build/examples/jacobi_regions [grid_n] [iterations]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/ipm.h"
+#include "ipm/report.hpp"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+const cusim::KernelDef kStencil{
+    "jacobi5pt_kernel",
+    {.flops_per_thread = 6.0, .dram_bytes_per_thread = 40.0, .serial_iterations = 1.0,
+     .efficiency = 0.5, .fixed_us = 5.0, .double_precision = true},
+    nullptr};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int iters = argc > 2 ? std::atoi(argv[2]) : 200;
+  if (n < 8 || iters < 1) {
+    std::fprintf(stderr, "usage: jacobi_regions [grid_n>=8] [iterations>=1]\n");
+    return 2;
+  }
+  std::printf("Jacobi 5-point stencil, %dx%d grid, %d iterations\n\n", n, n, iters);
+  cusim::Topology topo;
+  topo.timing.init_cost = 0.1;
+  cusim::configure(topo);
+  ipm::job_begin(ipm::Config{}, "./jacobi");
+
+  const std::size_t bytes = static_cast<std::size_t>(n) * n * sizeof(double);
+  double* d_a = nullptr;
+  double* d_b = nullptr;
+  cudaMalloc(reinterpret_cast<void**>(&d_a), bytes);
+  cudaMalloc(reinterpret_cast<void**>(&d_b), bytes);
+  std::vector<double> grid(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) grid[static_cast<std::size_t>(i)] = 1.0;  // hot top edge
+  ipm_set_mem_bytes(2 * bytes);
+
+  ipm_region_begin("setup");
+  cudaMemcpy(d_a, grid.data(), bytes, cudaMemcpyHostToDevice);
+  cudaMemcpy(d_b, grid.data(), bytes, cudaMemcpyHostToDevice);
+  ipm_region_end();
+
+  std::vector<double> boundary(static_cast<std::size_t>(n));
+  for (int it = 0; it < iters; ++it) {
+    ipm_region_begin("sweep");
+    cusim::launch(
+        kStencil, dim3(static_cast<unsigned>(n / 16), static_cast<unsigned>(n / 16)),
+        dim3(16, 16),
+        [n](const cusim::LaunchGeom&, const double* src, double* dst) {
+          for (int i = 1; i < n - 1; ++i) {
+            for (int j = 1; j < n - 1; ++j) {
+              const std::size_t c = static_cast<std::size_t>(i) * n + j;
+              dst[c] = 0.25 * (src[c - 1] + src[c + 1] + src[c - n] + src[c + n]);
+            }
+          }
+        },
+        static_cast<const double*>(d_a), d_b);
+    ipm_region_end();
+
+    ipm_region_begin("boundary");
+    // Asynchronous readback of one edge; the host analyses the previous
+    // iteration's edge meanwhile — this is why host idle stays ~0.
+    cudaMemcpyAsync(boundary.data(), d_b, n * sizeof(double), cudaMemcpyDeviceToHost,
+                    nullptr);
+    simx::host_compute(20e-6);  // host-side convergence bookkeeping
+    ipm_region_end();
+    std::swap(d_a, d_b);
+  }
+  cudaThreadSynchronize();
+  cudaMemcpy(grid.data(), d_a, bytes, cudaMemcpyDeviceToHost);
+  cudaFree(d_a);
+  cudaFree(d_b);
+
+  // Sanity: heat diffused into the interior.
+  const double interior = grid[static_cast<std::size_t>(n) * (n / 8) + n / 2];
+  std::printf("interior value after %d sweeps: %.4f (diffusing from 1.0 edge)\n\n", iters,
+              interior);
+
+  const ipm::JobProfile job = ipm::job_end();
+  ipm::write_banner(std::cout, job, {.max_rows = 10, .full = false});
+  // Per-region attribution: the profile keeps sweep/boundary/setup apart.
+  std::puts("\nper-region GPU kernel time:");
+  for (const auto& e : job.ranks.at(0).events) {
+    if (e.name.starts_with("@CUDA_EXEC") && e.region < job.ranks.at(0).regions.size()) {
+      std::printf("  region %-10s %8.3f s  (%llu launches)\n",
+                  job.ranks.at(0).regions[e.region].c_str(), e.tsum,
+                  static_cast<unsigned long long>(e.count));
+    }
+  }
+  return 0;
+}

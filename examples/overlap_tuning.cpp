@@ -1,0 +1,79 @@
+// Example: using @CUDA_HOST_IDLE to find — and then eliminate — a missed
+// CPU/GPU overlap opportunity (the tuning workflow of paper §III-C).
+//
+// Phase 1 ("naive") launches a kernel and immediately blocks in a
+// synchronous D2H copy while unrelated host work waits its turn: IPM shows
+// a large @CUDA_HOST_IDLE.  Phase 2 ("overlapped") does the host work
+// between launch and copy: the idle time collapses and the wallclock
+// shrinks by almost exactly the overlapped amount.
+//
+//   ./build/examples/overlap_tuning
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/report.hpp"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+const cusim::KernelDef kForces{
+    "compute_forces",
+    {.flops_per_thread = 0, .dram_bytes_per_thread = 0, .serial_iterations = 1,
+     .efficiency = 1.0, .fixed_us = 40000.0, .double_precision = true},  // 40 ms
+    nullptr};
+
+constexpr double kHostWork = 0.035;  // 35 ms of independent CPU work
+constexpr int kIterations = 25;
+
+ipm::JobProfile run_phase(const char* command, bool overlapped) {
+  cusim::Topology topo;
+  topo.timing.init_cost = 0.05;
+  cusim::configure(topo);
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, command);
+  void* dev = nullptr;
+  cudaMalloc(&dev, 1 << 20);
+  std::vector<char> host(1 << 20);
+  for (int i = 0; i < kIterations; ++i) {
+    cusim::launch_timed(kForces, dim3(64), dim3(256));
+    if (overlapped) {
+      // Do the independent host work while the GPU computes...
+      simx::host_compute(kHostWork);
+      cudaMemcpy(host.data(), dev, host.size(), cudaMemcpyDeviceToHost);
+    } else {
+      // ...instead of blocking first and working afterwards.
+      cudaMemcpy(host.data(), dev, host.size(), cudaMemcpyDeviceToHost);
+      simx::host_compute(kHostWork);
+    }
+  }
+  cudaFree(dev);
+  return ipm::job_end();
+}
+
+double wall(const ipm::JobProfile& job) { return job.ranks.at(0).wallclock(); }
+
+}  // namespace
+
+int main() {
+  const ipm::JobProfile naive = run_phase("./md_naive", false);
+  const ipm::JobProfile tuned = run_phase("./md_overlapped", true);
+
+  std::puts("=== naive: launch -> blocking copy -> host work ===");
+  ipm::write_banner(std::cout, naive, {.max_rows = 8, .full = false});
+  std::puts("\n=== tuned: launch -> host work -> copy ===");
+  ipm::write_banner(std::cout, tuned, {.max_rows = 8, .full = false});
+
+  const double idle_naive = naive.ranks.at(0).time_in("IDLE");
+  const double idle_tuned = tuned.ranks.at(0).time_in("IDLE");
+  std::printf("\n@CUDA_HOST_IDLE: %.2f s naive -> %.2f s tuned\n", idle_naive, idle_tuned);
+  std::printf("wallclock      : %.2f s naive -> %.2f s tuned (%.0f ms saved/iteration)\n",
+              wall(naive), wall(tuned),
+              (wall(naive) - wall(tuned)) / kIterations * 1e3);
+  std::puts("the idle metric quantified the overlap opportunity before the rewrite —");
+  std::puts("exactly the feedback loop the paper proposes.");
+  return 0;
+}

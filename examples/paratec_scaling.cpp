@@ -1,0 +1,96 @@
+// Example: exploring GPU acceleration of a BLAS-heavy application through
+// accelerated-library re-linking (the paper's §IV-D PARATEC study).
+//
+// Runs the PARATEC-like SCF skeleton twice at the same scale — once
+// against the host "MKL" BLAS and once against the thunking CUBLAS
+// wrappers — and prints the side-by-side IPM view that makes the
+// transfer-vs-compute trade-off visible.
+//
+//   ./build/examples/paratec_scaling [ranks] [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/paratec.hpp"
+#include "cudasim/control.hpp"
+#include "hostblas/blas.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+
+namespace {
+
+double total(const ipm::JobProfile& job, const std::string& name) {
+  double t = 0.0;
+  for (const auto& r : job.ranks) {
+    for (const auto& e : r.events) {
+      if (e.name == name) t += e.tsum;
+    }
+  }
+  return t;
+}
+
+ipm::JobProfile run(int ranks, int nodes, apps::paratec::BlasMode mode) {
+  cusim::Topology topo;
+  topo.nodes = nodes;
+  topo.timing.init_cost = 0.05;
+  cusim::configure(topo);
+  cusim::set_execute_bodies(false);
+  hostblas::cpu_model().execute_numerics = false;
+  ipm::job_begin(ipm::Config{}, "./paratec.x");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = ranks;
+  cluster.ranks_per_node = (ranks + nodes - 1) / nodes;
+  cluster.net.injection_contention = 0.3;
+  mpisim::run_cluster(cluster, [&](int) {
+    MPI_Init(nullptr, nullptr);
+    apps::paratec::Config cfg;
+    cfg.blas = mode;
+    apps::paratec::run_rank(cfg);
+    MPI_Finalize();
+  });
+  const ipm::JobProfile job = ipm::job_end();
+  cusim::set_execute_bodies(true);
+  hostblas::cpu_model().execute_numerics = true;
+  return job;
+}
+
+double wall(const ipm::JobProfile& job) {
+  double w = 0.0;
+  for (const auto& r : job.ranks) w = std::max(w, r.wallclock());
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 32;
+  if (ranks < 1 || nodes < 1) {
+    std::fprintf(stderr, "usage: paratec_scaling [ranks] [nodes]\n");
+    return 2;
+  }
+  std::printf("PARATEC-like SCF, %d ranks on %d nodes\n\n", ranks, nodes);
+
+  const ipm::JobProfile mkl = run(ranks, nodes, apps::paratec::BlasMode::kHostMkl);
+  const ipm::JobProfile gpu = run(ranks, nodes, apps::paratec::BlasMode::kCublasThunking);
+
+  std::printf("%-28s %12s %12s\n", "", "MKL BLAS", "CUBLAS(thunk)");
+  std::printf("%-28s %12.2f %12.2f\n", "wallclock (s)", wall(mkl), wall(gpu));
+  const auto row = [&](const char* label, const std::string& event) {
+    std::printf("%-28s %12.2f %12.2f\n", label, total(mkl, event) / mkl.nranks,
+                total(gpu, event) / gpu.nranks);
+  };
+  row("MPI_Allreduce /rank", "MPI_Allreduce");
+  row("MPI_Gather /rank", "MPI_Gather");
+  row("cublasSetMatrix /rank", "cublasSetMatrix");
+  row("cublasGetMatrix /rank", "cublasGetMatrix");
+  double gpu_kernels = 0.0;
+  for (const auto& r : gpu.ranks) gpu_kernels += r.time_in("GPU");
+  std::printf("%-28s %12s %12.2f\n", "zgemm kernels on GPU /rank", "-",
+              gpu_kernels / gpu.nranks);
+  std::printf("\nspeedup from re-linking with CUBLAS: %.2fx", wall(mkl) / wall(gpu));
+  std::puts("  (paper at 32 ranks: 1976 s -> 1285 s, 1.54x)");
+  std::puts("note the thunking wrappers' blocking transfers dwarfing the kernel time —");
+  std::puts("the overlap opportunity the paper's host-idle metric is built to expose.");
+  return 0;
+}

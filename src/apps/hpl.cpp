@@ -1,0 +1,292 @@
+#include "apps/hpl.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "cublassim/cublas.h"
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "hostblas/blas.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+#include "simcommon/rng.hpp"
+
+namespace apps::hpl {
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("mini-hpl: ") + what);
+}
+
+/// The custom transpose kernel of Fatica's HPL (4th kernel in Fig. 9):
+/// materializes U12ᵀ so the odd-iteration update can use the faster
+/// dgemm_nt_tex variant.
+const cusim::KernelDef& transpose_kernel() {
+  static const cusim::KernelDef def{
+      "transpose",
+      {.flops_per_thread = 1.0, .dram_bytes_per_thread = 16.0, .serial_iterations = 1.0,
+       .efficiency = 0.5, .fixed_us = 4.0, .double_precision = true},
+      nullptr};
+  return def;
+}
+
+/// Unblocked, unpivoted LU of an m×nb panel (host side).  Callers supply
+/// diagonally dominant matrices, so pivoting is not needed for stability.
+void host_panel_factor(double* a, int m, int nb, int lda) {
+  const bool compute = cusim::execute_bodies_enabled();
+  if (compute) {
+    for (int k = 0; k < nb; ++k) {
+      const double diag = a[k + static_cast<std::size_t>(k) * lda];
+      check(std::abs(diag) > 1e-300, "zero pivot (matrix not diagonally dominant?)");
+      for (int i = k + 1; i < m; ++i) a[i + static_cast<std::size_t>(k) * lda] /= diag;
+      for (int j = k + 1; j < nb; ++j) {
+        const double akj = a[k + static_cast<std::size_t>(j) * lda];
+        for (int i = k + 1; i < m; ++i) {
+          a[i + static_cast<std::size_t>(j) * lda] -=
+              a[i + static_cast<std::size_t>(k) * lda] * akj;
+        }
+      }
+    }
+  }
+  // Charge the host for the factorization (getf2 ≈ m·nb² flops, run on the
+  // node's 8 cores with threaded BLAS as Fatica's HPL does).
+  const double flops = static_cast<double>(m) * nb * nb;
+  simx::host_compute(flops / (hostblas::cpu_model().peak_dp_flops * 8.0 * 0.5));
+}
+
+/// One rank's device-resident block-column storage.
+struct DeviceBlocks {
+  std::map<int, double*> blocks;  // global block index -> device pointer
+
+  ~DeviceBlocks() {
+    for (auto& [idx, ptr] : blocks) cudaFree(ptr);
+  }
+};
+
+}  // namespace
+
+Result run_rank(const Config& cfg) {
+  check(cfg.n > 0 && cfg.nb > 0 && cfg.n % cfg.nb == 0, "n must be a multiple of nb");
+  int rank = 0;
+  int nprocs = 1;
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+  check(!cfg.compute_residual || nprocs == 1, "residual check needs a single rank");
+
+  const int n = cfg.n;
+  const int nb = cfg.nb;
+  const int nblocks = n / nb;
+  const std::size_t block_bytes = static_cast<std::size_t>(n) * nb * sizeof(double);
+  const double start = simx::virtual_now();
+  Result result;
+
+  // Generate the owned blocks of a diagonally dominant matrix (deterministic
+  // in the global seed, independent of the distribution).  In model-only
+  // mode (kernel bodies disabled) host blocks are placeholders: all data
+  // movement is charged by size, never dereferenced at full extent.
+  const bool compute = cusim::execute_bodies_enabled();
+  std::map<int, std::vector<double>> host_blocks;
+  std::vector<double> reference;  // full copy for the residual check
+  if (cfg.compute_residual) reference.resize(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < nblocks; ++j) {
+    if (j % nprocs != rank) continue;
+    auto& blk = host_blocks[j];
+    blk.resize(compute ? static_cast<std::size_t>(n) * nb : 1);
+    if (!compute) continue;
+    simx::Xoshiro256 rng = simx::Xoshiro256::substream(cfg.seed, static_cast<std::uint64_t>(j));
+    for (int c = 0; c < nb; ++c) {
+      const int gc = j * nb + c;
+      for (int r = 0; r < n; ++r) {
+        double v = rng.uniform(-0.5, 0.5);
+        if (r == gc) v += n;  // diagonal dominance
+        blk[static_cast<std::size_t>(r) + static_cast<std::size_t>(c) * n] = v;
+        if (cfg.compute_residual) {
+          reference[static_cast<std::size_t>(r) + static_cast<std::size_t>(gc) * n] = v;
+        }
+      }
+    }
+  }
+
+  const bool gpu = cfg.backend == Backend::kCublas;
+  DeviceBlocks dev;
+  cudaEvent_t copy_done = nullptr;
+  std::vector<double> panel(static_cast<std::size_t>(n) * nb);
+  double* dev_panel = nullptr;
+  double* dev_panel_t = nullptr;
+  if (gpu) {
+    check(cublasInit() == CUBLAS_STATUS_SUCCESS, "cublasInit");
+    check(cudaEventCreate(&copy_done) == cudaSuccess, "event create");
+    for (auto& [j, blk] : host_blocks) {
+      void* p = nullptr;
+      check(cudaMalloc(&p, block_bytes) == cudaSuccess, "block alloc");
+      check(cudaMemcpy(p, blk.data(), block_bytes, cudaMemcpyHostToDevice) == cudaSuccess,
+            "block upload");
+      dev.blocks[j] = static_cast<double*>(p);
+    }
+    check(cudaMalloc(reinterpret_cast<void**>(&dev_panel), block_bytes) == cudaSuccess,
+          "panel alloc");
+    check(cudaMalloc(reinterpret_cast<void**>(&dev_panel_t), block_bytes) == cudaSuccess,
+          "panelT alloc");
+  }
+  MPI_Barrier(MPI_COMM_WORLD);
+
+  for (int k = 0; k < nblocks; ++k) {
+    const int owner = k % nprocs;
+    const int prow = k * nb;          // first row/col of the panel
+    const int m_panel = n - prow;     // panel height
+    if (rank == owner) {
+      double* host_src = host_blocks[k].data() + prow;
+      if (gpu) {
+        // Pull the whole block column off the GPU — columns are strided by
+        // n, so the full block is the natural contiguous unit — then
+        // factorize the sub-panel at row offset prow.  Async copies with
+        // manual event synchronization, HPL's style.
+        check(cudaMemcpyAsync(panel.data(), dev.blocks[k], block_bytes,
+                              cudaMemcpyDeviceToHost, nullptr) == cudaSuccess,
+              "panel D2H");
+        check(cudaEventRecord(copy_done, nullptr) == cudaSuccess, "event record");
+        check(cudaEventSynchronize(copy_done) == cudaSuccess, "event sync");
+        host_panel_factor(panel.data() + prow, m_panel, nb, n);
+        check(cudaMemcpyAsync(dev.blocks[k], panel.data(), block_bytes,
+                              cudaMemcpyHostToDevice, nullptr) == cudaSuccess,
+              "panel H2D");
+        check(cudaEventRecord(copy_done, nullptr) == cudaSuccess, "event record");
+        check(cudaEventSynchronize(copy_done) == cudaSuccess, "event sync");
+      } else {
+        if (compute) {
+          for (int c = 0; c < nb; ++c) {
+            for (int r = 0; r < m_panel; ++r) {
+              panel[static_cast<std::size_t>(r) + static_cast<std::size_t>(c) * n] =
+                  host_src[r + static_cast<std::size_t>(c) * n];
+            }
+          }
+        }
+        host_panel_factor(panel.data(), m_panel, nb, n);
+        if (compute) {
+          for (int c = 0; c < nb; ++c) {
+            for (int r = 0; r < m_panel; ++r) {
+              host_src[r + static_cast<std::size_t>(c) * n] =
+                  panel[static_cast<std::size_t>(r) + static_cast<std::size_t>(c) * n];
+            }
+          }
+        }
+      }
+    }
+    // Broadcast the full block-column buffer (columns are strided by n, so
+    // the block is the contiguous unit on every backend).
+    MPI_Bcast(panel.data(), n * nb, MPI_DOUBLE, owner, MPI_COMM_WORLD);
+    if (gpu && rank != owner) {
+      check(cudaMemcpyAsync(dev_panel, panel.data(), block_bytes,
+                            cudaMemcpyHostToDevice, nullptr) == cudaSuccess,
+            "panel bcast H2D");
+      check(cudaEventRecord(copy_done, nullptr) == cudaSuccess, "event record");
+      check(cudaEventSynchronize(copy_done) == cudaSuccess, "event sync");
+    }
+
+    // Trailing update of the owned block columns right of the panel.
+    const int m2 = n - (k + 1) * nb;  // rows below the panel block row
+    for (int j = k + 1; j < nblocks; ++j) {
+      if (j % nprocs != rank) continue;
+      if (gpu) {
+        const double* dpanel = (rank == owner) ? dev.blocks[k] + prow : dev_panel;
+        double* dblk = dev.blocks[j];
+        // U12 = L11⁻¹ · A(k, j)  (unit lower triangular solve)
+        cublasDtrsm('L', 'L', 'N', 'U', nb, nb, 1.0, dpanel, n, dblk + prow, n);
+        if (m2 > 0) {
+          if (k % 2 == 0) {
+            // A(2,j) -= L21 · U12   (dgemm_nn_e_kernel)
+            cublasDgemm('N', 'N', m2, nb, nb, -1.0, dpanel + nb, n, dblk + prow, n, 1.0,
+                        dblk + prow + nb, n);
+          } else {
+            // Materialize U12ᵀ with the transpose kernel, then use the
+            // faster NT variant (dgemm_nt_tex_kernel), as Fatica's HPL does.
+            double* dblk_t = dev_panel_t;
+            const double* u12 = dblk + prow;
+            double* u12t = dblk_t;
+            cusim::launch(
+                transpose_kernel(), dim3(static_cast<unsigned>(nb / 16 + 1), 16), dim3(16, 16),
+                [nb, n](const cusim::LaunchGeom&, const double* src, double* dst) {
+                  for (int c = 0; c < nb; ++c) {
+                    for (int r = 0; r < nb; ++r) {
+                      dst[c + static_cast<std::size_t>(r) * nb] =
+                          src[r + static_cast<std::size_t>(c) * n];
+                    }
+                  }
+                },
+                u12, u12t);
+            cublasDgemm('N', 'T', m2, nb, nb, -1.0, dpanel + nb, n, u12t, nb, 1.0,
+                        dblk + prow + nb, n);
+          }
+          result.gemm_launches += 1;
+        }
+      } else {
+        double* blk = host_blocks[j].data();
+        hostblas::dtrsm('L', 'L', 'N', 'U', nb, nb, 1.0, panel.data(), n, blk + prow, n);
+        if (m2 > 0) {
+          hostblas::dgemm('N', 'N', m2, nb, nb, -1.0, panel.data() + nb, n, blk + prow, n,
+                          1.0, blk + prow + nb, n);
+          result.gemm_launches += 1;
+        }
+      }
+    }
+  }
+
+  // Pull results back and tear down.
+  if (gpu) {
+    for (auto& [j, blk] : host_blocks) {
+      check(cudaMemcpy(blk.data(), dev.blocks[j], block_bytes, cudaMemcpyDeviceToHost) ==
+                cudaSuccess,
+            "block download");
+    }
+    cudaEventDestroy(copy_done);
+    cudaFree(dev_panel);
+    cudaFree(dev_panel_t);
+    cublasShutdown();
+  }
+  double residual = 0.0;
+  if (cfg.compute_residual && compute) {
+    // Reassemble L and U from the factored blocks and check ‖LU − A‖.
+    std::vector<double> lu(static_cast<std::size_t>(n) * n);
+    for (auto& [j, blk] : host_blocks) {
+      for (int c = 0; c < nb; ++c) {
+        for (int r = 0; r < n; ++r) {
+          lu[static_cast<std::size_t>(r) + static_cast<std::size_t>(j * nb + c) * n] =
+              blk[static_cast<std::size_t>(r) + static_cast<std::size_t>(c) * n];
+        }
+      }
+    }
+    double amax = 0.0;
+    for (const double v : reference) amax = std::max(amax, std::abs(v));
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double acc = 0.0;
+        const int kmax = std::min(i, j);
+        for (int p = 0; p <= kmax; ++p) {
+          const double lip =
+              (p == i) ? 1.0 : lu[static_cast<std::size_t>(i) + static_cast<std::size_t>(p) * n];
+          const double upj = lu[static_cast<std::size_t>(p) + static_cast<std::size_t>(j) * n];
+          acc += lip * upj;
+        }
+        residual = std::max(
+            residual,
+            std::abs(acc - reference[static_cast<std::size_t>(i) +
+                                     static_cast<std::size_t>(j) * n]));
+      }
+    }
+    residual /= amax * n;
+  }
+  // Final flop-count reduction + barrier, as the HPL driver does before the
+  // result report.
+  const double local_flops = 2.0 / 3.0 * std::pow(static_cast<double>(n), 3) / nprocs;
+  double total_flops = 0.0;
+  MPI_Allreduce(&local_flops, &total_flops, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+  MPI_Barrier(MPI_COMM_WORLD);
+  result.residual = residual;
+  result.wallclock = simx::virtual_now() - start;
+  return result;
+}
+
+}  // namespace apps::hpl

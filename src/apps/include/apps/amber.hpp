@@ -1,0 +1,40 @@
+// Mini-Amber: a PME molecular-dynamics skeleton reproducing the workload
+// structure of the multi-GPU PMEMD code the paper profiles in §IV-E /
+// Fig. 11 (JAC/DHFR benchmark: 23,558 atoms, 10,000 timesteps, 16 ranks).
+//
+// Per timestep each rank issues: a couple of cudaMemcpyToSymbol parameter
+// uploads, a fixed set of named force/integration kernels (39 distinct
+// kernel names across the run, topped by
+// CalculatePMEOrthogonalNonbondForces), overlapped host work, a
+// cudaThreadSynchronize (the 22.5 %-of-wall host-side wait the paper
+// highlights), an async force readback, and a small MPI reduction.  Rank 0
+// additionally runs the PME grid FFT through CUFFT.  ReduceForces and
+// ClearForces carry a per-rank load imbalance of up to ~55 %, matching the
+// imbalance the paper reports as an optimization opportunity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apps::amber {
+
+struct Config {
+  int timesteps = 2000;   ///< paper runs 10,000; benches scale down wallclock
+  int atoms = 23558;
+  int fft_grid = 64;      ///< PME grid (rank 0 only), fft_grid³ points
+  double host_work_overlap = 0.6e-3;   ///< host seconds overlapped per step
+  double host_work_integrate = 2.6e-3; ///< host seconds after sync per step
+};
+
+struct Result {
+  double wallclock = 0.0;
+  long long kernel_launches = 0;
+};
+
+/// The 39 kernel names of the CUDA PMEMD build (top-5 as in Fig. 11).
+[[nodiscard]] const std::vector<std::string>& kernel_names();
+
+/// Run one rank of the MD loop (inside mpisim::run_cluster, or standalone).
+Result run_rank(const Config& cfg);
+
+}  // namespace apps::amber

@@ -1,0 +1,39 @@
+// Mini-PARATEC: a plane-wave DFT SCF skeleton reproducing the workload
+// structure the paper evaluates in §IV-D / Fig. 10.
+//
+// Per SCF iteration and band group, the code performs the subspace
+// projections (zgemm — PARATEC's dominant BLAS routine), FFT-like host
+// work, halo exchanges (Isend/Irecv/Wait), an overlap-matrix Allreduce,
+// and a rooted Gather of per-band data.  BLAS can run on the host
+// ("MKL") or through the thunking CUBLAS wrappers, which makes every
+// zgemm a blocking SetMatrix/kernel/GetMatrix triple — the transfer-
+// dominated profile of Fig. 10.
+#pragma once
+
+namespace apps::paratec {
+
+enum class BlasMode {
+  kHostMkl,         ///< hostblas (the sequential MKL baseline)
+  kCublasThunking,  ///< cublasthunk::zgemm (blocking device staging)
+};
+
+struct Config {
+  int n_g = 1024;       ///< plane-wave coefficients per band (matrix rows)
+  int n_bands = 8192;   ///< total bands (split across ranks)
+  int nb = 128;         ///< band block width per zgemm
+  int iterations = 10;  ///< SCF iterations
+  BlasMode blas = BlasMode::kCublasThunking;
+  double host_work_per_iter = 0.092;  ///< seconds of non-BLAS host work at
+                                      ///< P=32, scaled by 32/P (FFTs, local)
+  int gather_elems = 65536;  ///< doubles gathered to root per rank per iter
+};
+
+struct Result {
+  double wallclock = 0.0;
+  long long zgemm_calls = 0;
+};
+
+/// Run one rank of the SCF loop (inside mpisim::run_cluster, or standalone).
+Result run_rank(const Config& cfg);
+
+}  // namespace apps::paratec

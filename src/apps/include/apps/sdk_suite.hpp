@@ -1,0 +1,30 @@
+// CUDA-SDK-like benchmark suite (paper Table I).
+//
+// Eight mini-workloads reproducing the *structure* of the SDK samples the
+// paper uses for the kernel-timing accuracy study: the kernel invocation
+// counts match the paper exactly; per-kernel device work is calibrated so
+// total GPU times land in the same regime.  Every workload follows the SDK
+// pattern (H2D inputs → kernel batch(es) → D2H results), so the kernel
+// timing table gets polled on the D2H transfers exactly as in production.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apps::sdk {
+
+struct WorkloadResult {
+  std::string name;
+  int kernel_invocations = 0;
+};
+
+/// Names of the benchmarks in Table I order.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// Run one workload on the calling rank's device.  Throws on CUDA errors.
+WorkloadResult run_workload(const std::string& name);
+
+/// Run all eight (Table I driver).
+std::vector<WorkloadResult> run_all();
+
+}  // namespace apps::sdk

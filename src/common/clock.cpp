@@ -1,0 +1,37 @@
+#include "simcommon/clock.hpp"
+
+#include <atomic>
+
+#include "simcommon/noise.hpp"
+
+namespace simx {
+
+std::uint64_t acquire_ctx_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+ExecContext& default_context() noexcept {
+  static thread_local ExecContext ctx;
+  return ctx;
+}
+thread_local ExecContext* g_current = nullptr;
+}  // namespace
+
+void ExecContext::charge(double dt) noexcept {
+  if (noise != nullptr) dt = noise->perturb(dt);
+  clock.advance(dt);
+}
+
+ExecContext& current_context() noexcept {
+  return g_current != nullptr ? *g_current : default_context();
+}
+
+void set_current_context(ExecContext* ctx) noexcept { g_current = ctx; }
+
+void reset_default_context() noexcept { default_context() = ExecContext{}; }
+
+void host_compute(double seconds) noexcept { current_context().charge(seconds); }
+
+}  // namespace simx

@@ -1,0 +1,79 @@
+// Virtual time and per-rank execution contexts.
+//
+// Every simulated MPI rank owns a RankClock: a virtual wallclock that the
+// simulators (cudasim, mpisim, host compute) advance via cost models.  The
+// monitoring layer reads the *caller's* clock through ipm_gettime(), so a
+// wrapper measuring begin/end around a simulated call observes exactly the
+// durations the cost models produce — the same contract IPM has with the
+// real gettimeofday()/CUDA stack.
+//
+// The current context is thread-local: the mpisim cluster runner installs
+// one context per rank thread; single-threaded programs (unit tests,
+// quickstart examples) get a default context lazily.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace simx {
+
+class NoiseModel;  // noise.hpp
+
+/// A virtual wallclock.  Time is in seconds since "job start".
+class RankClock {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Advance by dt seconds (dt >= 0; negative advances are clamped to 0,
+  /// virtual time is monotone by construction).
+  void advance(double dt) noexcept { now_ += (dt > 0.0 ? dt : 0.0); }
+
+  /// Jump forward to an absolute time (no-op if t is in the past).
+  void advance_to(double t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Process-unique id for a freshly created execution context.
+[[nodiscard]] std::uint64_t acquire_ctx_id() noexcept;
+
+/// Identity and state of one simulated rank (process) on the cluster.
+struct ExecContext {
+  int world_rank = 0;   ///< MPI_COMM_WORLD rank.
+  int world_size = 1;   ///< MPI_COMM_WORLD size.
+  int node_id = 0;      ///< which cluster node this rank runs on.
+  int local_rank = 0;   ///< rank index within the node.
+  std::string hostname = "node000";
+  RankClock clock;
+  NoiseModel* noise = nullptr;  ///< optional, owned by the cluster runner.
+  std::uint64_t ctx_id = acquire_ctx_id();  ///< unique; keys device-context state.
+
+  /// Advance this rank's clock, applying the noise model if present.
+  void charge(double dt) noexcept;
+};
+
+/// The execution context of the calling thread.  Never null: a process-
+/// lifetime default context is installed for threads that are not managed
+/// by a cluster runner.
+[[nodiscard]] ExecContext& current_context() noexcept;
+
+/// Install `ctx` as the calling thread's context (nullptr restores the
+/// default context).  The caller retains ownership.
+void set_current_context(ExecContext* ctx) noexcept;
+
+/// Reset the default (non-cluster) context to a pristine state.  Intended
+/// for unit tests that want a fresh virtual clock.
+void reset_default_context() noexcept;
+
+/// Convenience: virtual time of the calling rank.
+[[nodiscard]] inline double virtual_now() noexcept { return current_context().clock.now(); }
+
+/// Simulate `seconds` of host-side computation on the calling rank.
+void host_compute(double seconds) noexcept;
+
+}  // namespace simx

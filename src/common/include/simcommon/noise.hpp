@@ -1,0 +1,47 @@
+// System-noise model.
+//
+// Real clusters exhibit run-to-run variability from OS jitter, daemons and
+// shared resources (paper §I item 6, §IV-B).  The simulators multiply every
+// charged duration by (1 + eps) where eps ~ N(bias, sigma) clipped to
+// [-3 sigma, +3 sigma], drawn from a per-rank substream of a per-run seed.
+// With sigma ≈ 0.2–0.5 % this reproduces the spread of the Fig. 8 ensemble.
+#pragma once
+
+#include "simcommon/rng.hpp"
+
+namespace simx {
+
+class NoiseModel {
+ public:
+  struct Params {
+    double sigma = 0.0;  ///< relative std-dev of per-operation jitter.
+    double bias = 0.0;   ///< constant relative slowdown (e.g. monitoring charge).
+  };
+
+  NoiseModel() = default;
+  NoiseModel(Params p, std::uint64_t seed, std::uint64_t stream_id)
+      : params_(p), rng_(Xoshiro256::substream(seed, stream_id)) {}
+
+  /// Apply jitter to a duration.  Always returns a value >= 0.
+  [[nodiscard]] double perturb(double dt) noexcept {
+    if (params_.sigma <= 0.0 && params_.bias == 0.0) return dt;
+    double eps = params_.bias;
+    if (params_.sigma > 0.0) {
+      double n = rng_.normal();
+      const double clip = 3.0;
+      if (n > clip) n = clip;
+      if (n < -clip) n = -clip;
+      eps += params_.sigma * n;
+    }
+    const double out = dt * (1.0 + eps);
+    return out > 0.0 ? out : 0.0;
+  }
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  Xoshiro256 rng_{};
+};
+
+}  // namespace simx

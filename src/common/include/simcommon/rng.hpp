@@ -1,0 +1,100 @@
+// Deterministic pseudo-random number generation for the simulators.
+//
+// All randomness in the simulation stack (noise models, workload
+// generators) flows through this header so that every experiment is
+// reproducible from a single seed.  We use splitmix64 for seeding and
+// xoshiro256** as the main generator: both are tiny, fast, and have
+// well-understood statistical quality.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace simx {
+
+/// splitmix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro state and to derive independent per-rank substreams.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can
+/// be plugged into <random> distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x185ab5f0e1c2d3b4ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent substream, e.g. one per MPI rank.
+  [[nodiscard]] static constexpr Xoshiro256 substream(std::uint64_t seed,
+                                                      std::uint64_t stream_id) noexcept {
+    std::uint64_t sm = seed;
+    const std::uint64_t a = splitmix64(sm);
+    sm ^= 0x632be59bd9b4e019ULL * (stream_id + 1);
+    const std::uint64_t b = splitmix64(sm);
+    return Xoshiro256(a ^ (b * 0x9e3779b97f4a7c15ULL));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  [[nodiscard]] constexpr std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // simulation randomness does not need exact uniformity at 2^-64.
+    return static_cast<std::uint64_t>((static_cast<__uint128_t>((*this)()) * n) >> 64);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; we do not cache
+  /// the second value to keep the generator state a pure function of the
+  /// call count).
+  [[nodiscard]] double normal() noexcept {
+    // Avoid log(0).
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace simx

@@ -1,0 +1,72 @@
+// Minimal XML writer and parser.
+//
+// IPM writes its profiling log as XML (paper §II) and ipm_parse consumes
+// it.  We implement exactly the subset both sides need: elements,
+// attributes, character data, and standard entity escaping.  No DTDs,
+// namespaces, processing instructions, or CDATA.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simx::xml {
+
+/// Escape &, <, >, ", ' for use in attribute values / character data.
+[[nodiscard]] std::string escape(std::string_view raw);
+
+/// Streaming writer with automatic indentation and tag balancing.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) { os_ << "<?xml version=\"1.0\"?>\n"; }
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Open an element: <name attr1="v1" ...>.
+  void open(std::string_view name,
+            const std::vector<std::pair<std::string, std::string>>& attrs = {});
+  /// Write a self-closing or text-bearing leaf element.
+  void leaf(std::string_view name,
+            const std::vector<std::pair<std::string, std::string>>& attrs = {},
+            std::string_view text = {});
+  /// Close the innermost open element.
+  void close();
+  /// Close everything still open (also done by the destructor).
+  void finish();
+
+  [[nodiscard]] int depth() const noexcept { return static_cast<int>(stack_.size()); }
+
+ private:
+  void indent();
+  std::ostream& os_;
+  std::vector<std::string> stack_;
+};
+
+/// Parsed element node (simple DOM).
+struct Node {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  std::vector<std::unique_ptr<Node>> children;
+  std::string text;  ///< concatenated character data directly under this node.
+
+  /// First child with the given element name, or nullptr.
+  [[nodiscard]] const Node* child(std::string_view child_name) const noexcept;
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const Node*> children_named(std::string_view child_name) const;
+  /// Attribute value or throw std::runtime_error naming the attribute.
+  [[nodiscard]] const std::string& attr(const std::string& key) const;
+  /// Attribute value or fallback.
+  [[nodiscard]] std::string attr_or(const std::string& key, std::string fallback) const;
+};
+
+/// Parse a complete document; throws std::runtime_error on malformed input.
+[[nodiscard]] std::unique_ptr<Node> parse(std::string_view doc);
+
+/// Parse the file at `path` (throws on I/O or syntax errors).
+[[nodiscard]] std::unique_ptr<Node> parse_file(const std::string& path);
+
+}  // namespace simx::xml

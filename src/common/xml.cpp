@@ -1,0 +1,259 @@
+#include "simcommon/xml.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace simx::xml {
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Writer::~Writer() { finish(); }
+
+void Writer::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void Writer::open(std::string_view name,
+                  const std::vector<std::pair<std::string, std::string>>& attrs) {
+  indent();
+  os_ << '<' << name;
+  for (const auto& [k, v] : attrs) os_ << ' ' << k << "=\"" << escape(v) << '"';
+  os_ << ">\n";
+  stack_.emplace_back(name);
+}
+
+void Writer::leaf(std::string_view name,
+                  const std::vector<std::pair<std::string, std::string>>& attrs,
+                  std::string_view text) {
+  indent();
+  os_ << '<' << name;
+  for (const auto& [k, v] : attrs) os_ << ' ' << k << "=\"" << escape(v) << '"';
+  if (text.empty()) {
+    os_ << "/>\n";
+  } else {
+    os_ << '>' << escape(text) << "</" << name << ">\n";
+  }
+}
+
+void Writer::close() {
+  if (stack_.empty()) throw std::runtime_error("xml::Writer::close with no open element");
+  const std::string name = stack_.back();
+  stack_.pop_back();
+  indent();
+  os_ << "</" << name << ">\n";
+}
+
+void Writer::finish() {
+  while (!stack_.empty()) close();
+}
+
+const Node* Node::child(std::string_view child_name) const noexcept {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Node*> Node::children_named(std::string_view child_name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const std::string& Node::attr(const std::string& key) const {
+  const auto it = attrs.find(key);
+  if (it == attrs.end()) {
+    throw std::runtime_error("xml: element <" + name + "> missing attribute '" + key + "'");
+  }
+  return it->second;
+}
+
+std::string Node::attr_or(const std::string& key, std::string fallback) const {
+  const auto it = attrs.find(key);
+  return it == attrs.end() ? std::move(fallback) : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : s_(doc) {}
+
+  std::unique_ptr<Node> run() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content after document element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("xml parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char get() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+  void expect(char c) {
+    if (get() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    while (pos_ + 1 < s_.size() && s_[pos_] == '<' &&
+           (s_[pos_ + 1] == '?' || s_[pos_ + 1] == '!')) {
+      if (s_.substr(pos_, 4) == "<!--") {
+        const std::size_t end = s_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        const std::size_t end = s_.find('>', pos_);
+        if (end == std::string_view::npos) fail("unterminated prolog");
+        pos_ = end + 1;
+      }
+      skip_ws();
+    }
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '-' ||
+           c == '.' || c == ':' || c == '@';
+  }
+
+  std::string parse_name() {
+    const std::size_t begin = pos_;
+    while (pos_ < s_.size() && is_name_char(s_[pos_])) ++pos_;
+    if (pos_ == begin) fail("expected a name");
+    return std::string(s_.substr(begin, pos_ - begin));
+  }
+
+  std::string unescape(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out += '&';
+      else if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else fail("unknown entity '&" + std::string(ent) + ";'");
+      i = semi;
+    }
+    return out;
+  }
+
+  std::unique_ptr<Node> parse_element() {
+    expect('<');
+    auto node = std::make_unique<Node>();
+    node->name = parse_name();
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      const char c = peek();
+      if (c == '/') {
+        ++pos_;
+        expect('>');
+        return node;
+      }
+      if (c == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = parse_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      const char quote = get();
+      if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+      const std::size_t begin = pos_;
+      while (pos_ < s_.size() && s_[pos_] != quote) ++pos_;
+      if (pos_ >= s_.size()) fail("unterminated attribute value");
+      node->attrs[key] = unescape(s_.substr(begin, pos_ - begin));
+      ++pos_;  // closing quote
+    }
+    // Content.
+    for (;;) {
+      const std::size_t text_begin = pos_;
+      while (pos_ < s_.size() && s_[pos_] != '<') ++pos_;
+      if (pos_ > text_begin) {
+        node->text += unescape(s_.substr(text_begin, pos_ - text_begin));
+      }
+      if (pos_ >= s_.size()) fail("unterminated element <" + node->name + ">");
+      if (s_.substr(pos_, 4) == "<!--") {
+        const std::size_t end = s_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (pos_ + 1 < s_.size() && s_[pos_ + 1] == '/') {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node->name) {
+          fail("mismatched closing tag </" + closing + "> for <" + node->name + ">");
+        }
+        skip_ws();
+        expect('>');
+        // Trim pure-whitespace text accumulated from pretty-printing.
+        bool all_ws = true;
+        for (const char c : node->text) {
+          if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+            all_ws = false;
+            break;
+          }
+        }
+        if (all_ws) node->text.clear();
+        return node;
+      }
+      node->children.push_back(parse_element());
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> parse(std::string_view doc) { return Parser(doc).run(); }
+
+std::unique_ptr<Node> parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("xml: cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  return parse(doc);
+}
+
+}  // namespace simx::xml

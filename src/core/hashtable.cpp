@@ -1,0 +1,55 @@
+#include "ipm/hashtable.hpp"
+
+namespace ipm {
+
+PerfHashTable::PerfHashTable(unsigned log2_slots) {
+  if (log2_slots < 4) log2_slots = 4;
+  if (log2_slots > 24) log2_slots = 24;
+  slots_.resize(static_cast<std::size_t>(1) << log2_slots);
+  mask_ = slots_.size() - 1;
+}
+
+bool PerfHashTable::update(const EventKey& key, double duration) noexcept {
+  std::size_t idx = key.hash() & mask_;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    Slot& s = slots_[idx];
+    if (!s.used) {
+      if (used_ == slots_.size() - 1) break;  // keep one free slot: probe terminator
+      s.used = true;
+      s.key = key;
+      s.stats = EventStats{};
+      s.stats.add(duration);
+      used_ += 1;
+      probe_steps_ += probes;
+      return true;
+    }
+    if (s.key == key) {
+      s.stats.add(duration);
+      probe_steps_ += probes;
+      return true;
+    }
+    idx = (idx + 1) & mask_;
+  }
+  overflow_ += 1;
+  return false;
+}
+
+const EventStats* PerfHashTable::find(const EventKey& key) const noexcept {
+  std::size_t idx = key.hash() & mask_;
+  for (std::size_t probes = 0; probes <= mask_; ++probes) {
+    const Slot& s = slots_[idx];
+    if (!s.used) return nullptr;
+    if (s.key == key) return &s.stats;
+    idx = (idx + 1) & mask_;
+  }
+  return nullptr;
+}
+
+void PerfHashTable::clear() noexcept {
+  for (Slot& s : slots_) s.used = false;
+  used_ = 0;
+  overflow_ = 0;
+  probe_steps_ = 0;
+}
+
+}  // namespace ipm

@@ -1,0 +1,60 @@
+// IPM's central performance data hash table (paper §II, Fig. 1).
+//
+// Design follows the real IPM: a fixed-size, statically sized open-
+// addressing table that is allocated once and never rehashes during the
+// run, so the per-event cost is small and — crucially for a monitoring
+// tool — *predictable*.  When the table fills up, further new signatures
+// are counted in `overflow` and dropped rather than degrading the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipm/key.hpp"
+
+namespace ipm {
+
+class PerfHashTable {
+ public:
+  /// `log2_slots`: table holds 2^log2_slots entries (default 8192, the
+  /// classic IPM size).
+  explicit PerfHashTable(unsigned log2_slots = 13);
+
+  /// Insert-or-update: adds `duration` to the stats of `key`.  Returns
+  /// false (and counts an overflow) if the table is full and `key` is new.
+  bool update(const EventKey& key, double duration) noexcept;
+
+  /// Lookup without insertion (nullptr if absent).
+  [[nodiscard]] const EventStats* find(const EventKey& key) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// Total probe steps beyond the home slot (collision pressure metric).
+  [[nodiscard]] std::uint64_t probe_steps() const noexcept { return probe_steps_; }
+
+  void clear() noexcept;
+
+  /// Visit every occupied slot.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.stats);
+    }
+  }
+
+ private:
+  struct Slot {
+    bool used = false;
+    EventKey key;
+    EventStats stats;
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::size_t used_ = 0;
+  std::uint64_t overflow_ = 0;
+  mutable std::uint64_t probe_steps_ = 0;
+};
+
+}  // namespace ipm

@@ -1,0 +1,27 @@
+// User-facing C API of IPM (the moral equivalent of real IPM's
+// MPI_Pcontrol region interface): mark code regions so the profile
+// attributes events to them, and hint the banner's memory field.
+//
+// These are plain C symbols so Fortran-style codes (PARATEC is Fortran 90)
+// can call them through the usual binding conventions.
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+/// Enter a named user region on the calling rank; nestable.  Creates the
+/// rank's monitor if monitoring is enabled and none exists yet.
+void ipm_region_begin(const char* name);
+
+/// Leave the innermost user region.  Unbalanced calls abort with a
+/// diagnostic (a mismatched region stack would silently corrupt profiles).
+void ipm_region_end(void);
+
+/// Report the application's memory footprint for the banner's mem field.
+void ipm_set_mem_bytes(std::uint64_t bytes);
+
+/// Virtual wallclock of the calling rank (the get_time() of paper Fig. 2).
+double ipm_gettime(void);
+
+}  // extern "C"

@@ -1,0 +1,67 @@
+// Event signatures and statistics — the contents of IPM's performance data
+// hash table (paper Fig. 1).
+//
+// The hash key ("event signature") combines the monitored call, the operand
+// size in bytes, the active user region, and a per-call selector (memcpy
+// direction, stream index, or peer rank).  For every distinct signature IPM
+// keeps the call count and the total/min/max duration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ipm {
+
+/// Interned name id.  Names are interned once (static local in each
+/// wrapper), so the hot monitoring path never touches strings.
+using NameId = std::uint32_t;
+
+/// Intern a display name ("cudaMemcpy(D2H)", "@CUDA_HOST_IDLE", ...).
+/// Returns a stable id; interning the same string twice yields the same id.
+[[nodiscard]] NameId intern_name(const std::string& name);
+
+/// Reverse lookup (valid for ids returned by intern_name).
+[[nodiscard]] const std::string& name_of(NameId id);
+
+/// Number of interned names so far.
+[[nodiscard]] std::size_t interned_count();
+
+struct EventKey {
+  NameId name = 0;
+  std::uint32_t region = 0;
+  std::uint64_t bytes = 0;
+  std::int32_t select = 0;  ///< direction / stream / peer, call-specific
+
+  friend bool operator==(const EventKey&, const EventKey&) = default;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    // splitmix64-style mixing of the packed fields.
+    std::uint64_t h = (static_cast<std::uint64_t>(name) << 32) ^
+                      (static_cast<std::uint64_t>(region) << 16) ^
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(select));
+    h ^= bytes + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return h ^ (h >> 31);
+  }
+};
+
+struct EventStats {
+  std::uint64_t count = 0;
+  double tsum = 0.0;
+  double tmin = 0.0;
+  double tmax = 0.0;
+
+  void add(double duration) noexcept {
+    if (count == 0) {
+      tmin = tmax = duration;
+    } else {
+      if (duration < tmin) tmin = duration;
+      if (duration > tmax) tmax = duration;
+    }
+    tsum += duration;
+    count += 1;
+  }
+};
+
+}  // namespace ipm

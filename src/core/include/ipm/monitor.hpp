@@ -1,0 +1,194 @@
+// Per-rank monitoring context and job lifecycle.
+//
+// One Monitor per simulated rank (thread).  Wrappers obtain the calling
+// rank's monitor via ipm::monitor() — created lazily on the first
+// monitored event, exactly like real IPM initializes on the first
+// intercepted call.  At rank finalize the profile is pushed into a
+// process-wide collector; the report layer then aggregates across ranks
+// (on a real cluster this is IPM's MPI reduction at MPI_Finalize).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "ipm/hashtable.hpp"
+
+namespace ipm {
+
+/// Policy for when the kernel timing table checks for completed kernels
+/// (paper §III-B: checking too often costs, too rarely delays attribution).
+enum class KttPolicy {
+  kOnD2HTransfer,  ///< paper default: poll only in device-to-host transfers
+  kOnEveryCall,    ///< poll in every wrapped CUDA call (ablation)
+  kNever,          ///< only drain at finalize (ablation)
+};
+
+struct Config {
+  bool enabled = true;           ///< master switch (unmonitored baseline runs)
+  bool kernel_timing = true;     ///< GPU kernel timing via the event API (§III-B)
+  /// Subtract the calibrated event-bracket overhead from each kernel
+  /// measurement (the timing-fidelity correction the paper says it is
+  /// investigating in §IV-A).  Calibrated once per rank from an empty
+  /// start/stop event pair on an idle stream.
+  bool ktt_overhead_correction = false;
+  bool host_idle = true;         ///< implicit-host-blocking detection (§III-C)
+  KttPolicy ktt_policy = KttPolicy::kOnD2HTransfer;
+  unsigned table_log2_slots = 13;
+  /// Virtual-time charge per recorded event: models IPM's own perturbation
+  /// of the application (set from the measured real wrapper cost; used by
+  /// the Fig. 8 dilatation experiment).
+  double monitor_charge = 0.0;
+  bool banner_to_stdout = false;  ///< print the banner at job_end
+  std::string log_path;           ///< XML profiling log ("" = no log)
+  /// Emit the report automatically when the monitored thread exits (the
+  /// LD_PRELOAD scenario, where no harness calls job_end explicitly).
+  bool report_at_exit = false;
+};
+
+/// Populate a Config from IPM_* environment variables
+/// (IPM_REPORT=none|terse|full, IPM_LOG=<path>, IPM_KERNEL_TIMING=0|1,
+///  IPM_HOST_IDLE=0|1, IPM_KTT_POLICY=d2h|every|never, IPM_HASH_BITS=<n>).
+[[nodiscard]] Config config_from_env(Config base = {});
+
+/// Flattened profile entry (merged over hash-table slots with equal name/
+/// region/select; bytes are accumulated).
+struct EventRecord {
+  std::string name;
+  std::uint32_t region = 0;
+  std::int32_t select = 0;
+  std::uint64_t count = 0;
+  double tsum = 0.0;
+  double tmin = 0.0;
+  double tmax = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+struct RankProfile {
+  int rank = 0;
+  std::string hostname;
+  double start = 0.0;
+  double stop = 0.0;
+  std::uint64_t mem_bytes = 0;
+  std::uint64_t table_overflow = 0;
+  std::vector<EventRecord> events;
+  std::vector<std::string> regions;  ///< region id -> name
+
+  [[nodiscard]] double wallclock() const noexcept { return stop - start; }
+  /// Sum of tsum over events whose name matches the classifier prefix
+  /// family: "MPI", "CUDA", "CUBLAS", "CUFFT", "GPU" (pseudo @CUDA_EXEC),
+  /// "IDLE" (@CUDA_HOST_IDLE).
+  [[nodiscard]] double time_in(const std::string& family) const;
+  [[nodiscard]] std::uint64_t calls_in(const std::string& family) const;
+};
+
+struct JobProfile {
+  std::string command = "./a.out";
+  int nranks = 0;
+  double start = 0.0;
+  double stop = 0.0;
+  std::vector<RankProfile> ranks;  ///< indexed by rank
+};
+
+class Monitor {
+ public:
+  explicit Monitor(const Config& cfg);
+  ~Monitor();
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Record one event (the UPDATE_DATA of the paper's Fig. 2 wrapper).
+  void update(NameId name, double duration, std::uint64_t bytes = 0,
+              std::int32_t select = 0) noexcept;
+
+  /// Record an event into an explicit region (deferred measurements such
+  /// as kernel-timing-table completions happened while *another* region
+  /// was active; they carry the region captured at launch time).
+  void update_in_region(NameId name, double duration, std::uint32_t region,
+                        std::uint64_t bytes = 0, std::int32_t select = 0) noexcept;
+
+  /// Region stack (MPI_Pcontrol-style user regions).
+  void region_begin(const std::string& name);
+  void region_end();
+  [[nodiscard]] std::uint32_t current_region() const noexcept;
+
+  /// Hooks run at rank finalize *before* the profile snapshot (the CUDA
+  /// layer drains its kernel timing table here).
+  void add_finalize_hook(std::function<void()> hook);
+
+  /// Memory footprint hint reported in the banner (paper reports "mem [GB]").
+  void set_mem_bytes(std::uint64_t bytes) noexcept { mem_bytes_ = bytes; }
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] PerfHashTable& table() noexcept { return table_; }
+  [[nodiscard]] const PerfHashTable& table() const noexcept { return table_; }
+  [[nodiscard]] double start_time() const noexcept { return start_; }
+
+  /// Snapshot this rank's profile (used by finalize and by tests).
+  [[nodiscard]] RankProfile snapshot() const;
+
+  /// Layer scratch space: the CUDA monitoring layer stores its kernel
+  /// timing table here so the core stays layer-agnostic.
+  void* layer_data = nullptr;
+  std::function<void(void*)> layer_data_deleter;
+
+ private:
+  friend RankProfile rank_finalize();
+  Config cfg_;
+  PerfHashTable table_;
+  double start_;
+  std::uint64_t mem_bytes_ = 0;
+  std::vector<std::uint32_t> region_stack_;
+  std::vector<std::string> regions_;
+  std::vector<std::function<void()>> finalize_hooks_;
+};
+
+// --- job lifecycle ----------------------------------------------------------
+
+/// Begin a monitored job: installs `cfg` for monitors created afterwards
+/// and clears the collector.  Call once per experiment (any thread).
+void job_begin(const Config& cfg, const std::string& command);
+
+/// The calling rank's monitor (created lazily with the job config).
+/// Returns nullptr when monitoring is disabled.
+[[nodiscard]] Monitor* monitor();
+
+/// True if the calling rank currently has a monitor.
+[[nodiscard]] bool has_monitor();
+
+/// Finalize the calling rank: run hooks, snapshot, push to the collector,
+/// destroy the monitor.  Returns the snapshot.
+RankProfile rank_finalize();
+
+/// End the job: returns the aggregated profile (ranks sorted by rank id),
+/// writes the banner/XML according to the job config.
+JobProfile job_end();
+
+/// The active job config.
+[[nodiscard]] const Config& job_config();
+
+/// Virtual wallclock of the calling rank (the get_time() of Fig. 2).
+[[nodiscard]] double gettime() noexcept;
+
+/// Generic Fig. 2 wrapper body: begin/end timers around the real call plus
+/// UPDATE_DATA.  Used by the generated MPI and BLAS/FFT wrappers; the CUDA
+/// layer has its own variant that additionally services the kernel timing
+/// table (ipm::cuda::timed_call).
+template <typename Fn>
+auto timed_event(NameId name, std::uint64_t bytes, std::int32_t select, Fn&& fn) {
+  Monitor* mon = monitor();
+  if (mon == nullptr) return fn();
+  const double begin = gettime();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    mon->update(name, gettime() - begin, bytes, select);
+  } else {
+    auto ret = fn();
+    mon->update(name, gettime() - begin, bytes, select);
+    return ret;
+  }
+}
+
+}  // namespace ipm

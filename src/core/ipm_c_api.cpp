@@ -1,0 +1,34 @@
+#include "ipm/ipm.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "ipm/monitor.hpp"
+
+extern "C" {
+
+void ipm_region_begin(const char* name) {
+  ipm::Monitor* mon = ipm::monitor();
+  if (mon == nullptr) return;
+  mon->region_begin(name != nullptr ? name : "(unnamed)");
+}
+
+void ipm_region_end(void) {
+  if (!ipm::has_monitor()) return;
+  try {
+    ipm::monitor()->region_end();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipm: %s\n", e.what());
+    std::abort();
+  }
+}
+
+void ipm_set_mem_bytes(std::uint64_t bytes) {
+  ipm::Monitor* mon = ipm::monitor();
+  if (mon != nullptr) mon->set_mem_bytes(bytes);
+}
+
+double ipm_gettime(void) { return ipm::gettime(); }
+
+}  // extern "C"

@@ -1,0 +1,284 @@
+#include "ipm/monitor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "ipm/report.hpp"
+
+#include "simcommon/clock.hpp"
+#include "simcommon/str.hpp"
+
+namespace ipm {
+
+namespace {
+
+struct JobState {
+  std::mutex mu;
+  Config cfg;
+  std::string command = "./a.out";
+  std::vector<RankProfile> collected;
+  double start = 0.0;
+  double stop = 0.0;
+};
+
+JobState& job() {
+  static JobState* s = new JobState();
+  return *s;
+}
+
+/// Thread-local monitor owner: finalizes the rank automatically when the
+/// thread (or the process's main thread) exits.  This runs during TLS
+/// destruction — *before* function-local statics like the cudasim engine
+/// are torn down — so finalize hooks (KTT drain) can still talk to the
+/// runtime.  Critical for the LD_PRELOAD scenario, where nobody calls
+/// MPI_Finalize explicitly.
+struct TlsOwner {
+  std::unique_ptr<Monitor> monitor;
+  ~TlsOwner();
+};
+
+thread_local TlsOwner t_owner;
+void report_job_at_exit();  // defined below (needs job())
+
+/// Family classifier for derived metrics (see RankProfile::time_in).
+bool in_family(const std::string& name, const std::string& family) {
+  using simx::starts_with;
+  if (family == "MPI") return starts_with(name, "MPI_");
+  if (family == "CUBLAS") return starts_with(name, "cublas");
+  if (family == "CUFFT") return starts_with(name, "cufft");
+  if (family == "GPU") return starts_with(name, "@CUDA_EXEC");
+  if (family == "IDLE") return starts_with(name, "@CUDA_HOST_IDLE");
+  if (family == "CUDA") {
+    return (starts_with(name, "cuda") ||
+            (starts_with(name, "cu") && name.size() > 2 &&
+             std::isupper(static_cast<unsigned char>(name[2])) != 0)) &&
+           !starts_with(name, "cublas") && !starts_with(name, "cufft");
+  }
+  return false;
+}
+
+}  // namespace
+
+double RankProfile::time_in(const std::string& family) const {
+  double total = 0.0;
+  for (const EventRecord& e : events) {
+    if (in_family(e.name, family)) total += e.tsum;
+  }
+  return total;
+}
+
+std::uint64_t RankProfile::calls_in(const std::string& family) const {
+  std::uint64_t total = 0;
+  for (const EventRecord& e : events) {
+    if (in_family(e.name, family)) total += e.count;
+  }
+  return total;
+}
+
+Config config_from_env(Config base) {
+  const auto getenv_str = [](const char* key) -> const char* { return std::getenv(key); };
+  if (const char* v = getenv_str("IPM_REPORT")) {
+    base.banner_to_stdout = std::string(v) != "none";
+  }
+  if (const char* v = getenv_str("IPM_LOG")) base.log_path = v;
+  if (const char* v = getenv_str("IPM_KERNEL_TIMING")) {
+    base.kernel_timing = std::string(v) != "0";
+  }
+  if (const char* v = getenv_str("IPM_HOST_IDLE")) base.host_idle = std::string(v) != "0";
+  if (const char* v = getenv_str("IPM_KTT_CORRECTION")) {
+    base.ktt_overhead_correction = std::string(v) != "0";
+  }
+  if (const char* v = getenv_str("IPM_KTT_POLICY")) {
+    const std::string p(v);
+    if (p == "d2h") base.ktt_policy = KttPolicy::kOnD2HTransfer;
+    else if (p == "every") base.ktt_policy = KttPolicy::kOnEveryCall;
+    else if (p == "never") base.ktt_policy = KttPolicy::kNever;
+    else throw std::runtime_error("IPM_KTT_POLICY must be d2h|every|never, got '" + p + "'");
+  }
+  if (const char* v = getenv_str("IPM_HASH_BITS")) {
+    base.table_log2_slots = static_cast<unsigned>(simx::parse_i64(v));
+  }
+  return base;
+}
+
+Monitor::Monitor(const Config& cfg)
+    : cfg_(cfg), table_(cfg.table_log2_slots), start_(simx::virtual_now()) {
+  region_stack_.push_back(0);
+  regions_.emplace_back("ipm_global");
+}
+
+Monitor::~Monitor() {
+  if (layer_data != nullptr && layer_data_deleter) layer_data_deleter(layer_data);
+}
+
+void Monitor::update(NameId name, double duration, std::uint64_t bytes,
+                     std::int32_t select) noexcept {
+  update_in_region(name, duration, region_stack_.back(), bytes, select);
+}
+
+void Monitor::update_in_region(NameId name, double duration, std::uint32_t region,
+                               std::uint64_t bytes, std::int32_t select) noexcept {
+  EventKey key;
+  key.name = name;
+  key.region = region;
+  key.bytes = bytes;
+  key.select = select;
+  table_.update(key, duration);
+  if (cfg_.monitor_charge > 0.0) {
+    // Model IPM's own perturbation of the application (Fig. 8 experiment).
+    simx::current_context().clock.advance(cfg_.monitor_charge);
+  }
+}
+
+void Monitor::region_begin(const std::string& name) {
+  // Reuse an existing region id for the same name (regions are usually
+  // entered many times, e.g. once per timestep).
+  std::uint32_t id = 0;
+  const auto it = std::find(regions_.begin(), regions_.end(), name);
+  if (it == regions_.end()) {
+    id = static_cast<std::uint32_t>(regions_.size());
+    regions_.push_back(name);
+  } else {
+    id = static_cast<std::uint32_t>(it - regions_.begin());
+  }
+  region_stack_.push_back(id);
+}
+
+void Monitor::region_end() {
+  if (region_stack_.size() <= 1) {
+    throw std::logic_error("ipm: region_end without matching region_begin");
+  }
+  region_stack_.pop_back();
+}
+
+std::uint32_t Monitor::current_region() const noexcept { return region_stack_.back(); }
+
+void Monitor::add_finalize_hook(std::function<void()> hook) {
+  finalize_hooks_.push_back(std::move(hook));
+}
+
+RankProfile Monitor::snapshot() const {
+  RankProfile p;
+  const simx::ExecContext& ec = simx::current_context();
+  p.rank = ec.world_rank;
+  p.hostname = ec.hostname;
+  p.start = start_;
+  p.stop = simx::virtual_now();
+  p.mem_bytes = mem_bytes_;
+  p.table_overflow = table_.overflow();
+  p.regions = regions_;
+  // Merge slots that differ only in bytes into one record per
+  // (name, region, select); keep byte totals.
+  std::map<std::tuple<NameId, std::uint32_t, std::int32_t>, EventRecord> merged;
+  table_.for_each([&](const EventKey& key, const EventStats& st) {
+    EventRecord& r = merged[{key.name, key.region, key.select}];
+    if (r.count == 0) {
+      r.name = name_of(key.name);
+      r.region = key.region;
+      r.select = key.select;
+      r.tmin = st.tmin;
+      r.tmax = st.tmax;
+    } else {
+      r.tmin = std::min(r.tmin, st.tmin);
+      r.tmax = std::max(r.tmax, st.tmax);
+    }
+    r.count += st.count;
+    r.tsum += st.tsum;
+    r.bytes += key.bytes * st.count;
+  });
+  p.events.reserve(merged.size());
+  for (auto& [k, rec] : merged) p.events.push_back(std::move(rec));
+  std::sort(p.events.begin(), p.events.end(),
+            [](const EventRecord& a, const EventRecord& b) { return a.tsum > b.tsum; });
+  return p;
+}
+
+void job_begin(const Config& cfg, const std::string& command) {
+  // Drop a stale monitor from a previous experiment on this thread without
+  // collecting it: its layer state may reference simulator handles that the
+  // harness is about to tear down (cusim::configure invalidates streams and
+  // events), so running finalize hooks here would be unsafe.
+  t_owner.monitor.reset();
+  JobState& s = job();
+  std::scoped_lock lk(s.mu);
+  s.cfg = cfg;
+  s.command = command;
+  s.collected.clear();
+  s.start = 0.0;
+  s.stop = 0.0;
+}
+
+const Config& job_config() { return job().cfg; }
+
+Monitor* monitor() {
+  if (!t_owner.monitor) {
+    if (!job().cfg.enabled) return nullptr;
+    t_owner.monitor = std::make_unique<Monitor>(job().cfg);
+  }
+  return t_owner.monitor.get();
+}
+
+bool has_monitor() { return static_cast<bool>(t_owner.monitor); }
+
+TlsOwner::~TlsOwner() {
+  if (!monitor) return;
+  rank_finalize();
+  if (job().cfg.report_at_exit) report_job_at_exit();
+}
+
+RankProfile rank_finalize() {
+  Monitor* m = has_monitor() ? t_owner.monitor.get() : nullptr;
+  if (m == nullptr) return RankProfile{};
+  for (const auto& hook : m->finalize_hooks_) hook();
+  RankProfile p = m->snapshot();
+  {
+    JobState& s = job();
+    std::scoped_lock lk(s.mu);
+    s.collected.push_back(p);
+    s.stop = std::max(s.stop, p.stop);
+  }
+  t_owner.monitor.reset();
+  return p;
+}
+
+namespace {
+void report_job_at_exit() {
+  const Config cfg = job().cfg;
+  const JobProfile jp = job_end();
+  if (cfg.banner_to_stdout) {
+    write_banner(std::cout, jp, {.max_rows = 24, .full = jp.nranks > 1});
+    std::cout.flush();
+  }
+  if (!cfg.log_path.empty()) write_xml_file(cfg.log_path, jp);
+}
+}  // namespace
+
+JobProfile job_end() {
+  JobState& s = job();
+  // A rank that never finalized (e.g. single-threaded example) is finalized
+  // implicitly for the calling thread.
+  if (has_monitor()) rank_finalize();
+  JobProfile jp;
+  {
+    std::scoped_lock lk(s.mu);
+    jp.command = s.command;
+    jp.ranks = s.collected;
+    jp.stop = s.stop;
+    s.collected.clear();
+  }
+  std::sort(jp.ranks.begin(), jp.ranks.end(),
+            [](const RankProfile& a, const RankProfile& b) { return a.rank < b.rank; });
+  jp.nranks = static_cast<int>(jp.ranks.size());
+  double start = jp.ranks.empty() ? 0.0 : jp.ranks.front().start;
+  for (const RankProfile& r : jp.ranks) start = std::min(start, r.start);
+  jp.start = start;
+  return jp;
+}
+
+double gettime() noexcept { return simx::virtual_now(); }
+
+}  // namespace ipm

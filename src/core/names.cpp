@@ -1,0 +1,47 @@
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "ipm/key.hpp"
+
+namespace ipm {
+
+namespace {
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, NameId> ids;
+  std::vector<std::string> names;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal: wrappers may run at exit
+  return *r;
+}
+}  // namespace
+
+NameId intern_name(const std::string& name) {
+  Registry& r = registry();
+  std::scoped_lock lk(r.mu);
+  const auto it = r.ids.find(name);
+  if (it != r.ids.end()) return it->second;
+  const NameId id = static_cast<NameId>(r.names.size());
+  r.names.push_back(name);
+  r.ids.emplace(name, id);
+  return id;
+}
+
+const std::string& name_of(NameId id) {
+  Registry& r = registry();
+  std::scoped_lock lk(r.mu);
+  if (id >= r.names.size()) throw std::out_of_range("ipm::name_of: unknown NameId");
+  return r.names[id];
+}
+
+std::size_t interned_count() {
+  Registry& r = registry();
+  std::scoped_lock lk(r.mu);
+  return r.names.size();
+}
+
+}  // namespace ipm

@@ -1,0 +1,229 @@
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "ipm/report.hpp"
+#include "simcommon/str.hpp"
+
+namespace ipm {
+
+namespace {
+
+using simx::strprintf;
+
+/// Display name for the banner: per-kernel GPU exec entries
+/// ("@CUDA_EXEC:<kernel>") are grouped into a per-stream summary row.
+std::string banner_name(const EventRecord& e) {
+  if (simx::starts_with(e.name, "@CUDA_EXEC")) {
+    return strprintf("@CUDA_EXEC_STRM%02d", e.select);
+  }
+  return e.name;
+}
+
+struct FamilyAgg {
+  double total = 0.0;
+  double min_rank = 0.0;
+  double max_rank = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t min_calls = 0;
+  std::uint64_t max_calls = 0;
+  bool any = false;
+};
+
+FamilyAgg family_agg(const JobProfile& job, const std::string& family) {
+  FamilyAgg a;
+  for (const RankProfile& r : job.ranks) {
+    const double t = r.time_in(family);
+    const std::uint64_t c = r.calls_in(family);
+    if (!a.any) {
+      a.min_rank = a.max_rank = t;
+      a.min_calls = a.max_calls = c;
+      a.any = true;
+    } else {
+      a.min_rank = std::min(a.min_rank, t);
+      a.max_rank = std::max(a.max_rank, t);
+      a.min_calls = std::min(a.min_calls, c);
+      a.max_calls = std::max(a.max_calls, c);
+    }
+    a.total += t;
+    a.calls += c;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<FuncRow> function_table(const JobProfile& job) {
+  std::map<std::string, FuncRow> rows;
+  double wall_total = 0.0;
+  for (const RankProfile& r : job.ranks) {
+    wall_total += r.wallclock();
+    for (const EventRecord& e : r.events) {
+      FuncRow& row = rows[banner_name(e)];
+      row.name = banner_name(e);
+      row.tsum += e.tsum;
+      row.count += e.count;
+    }
+  }
+  std::vector<FuncRow> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) {
+    row.pct_wall = wall_total > 0.0 ? 100.0 * row.tsum / wall_total : 0.0;
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const FuncRow& a, const FuncRow& b) {
+    return a.tsum != b.tsum ? a.tsum > b.tsum : a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<std::vector<double>> per_rank_times(const JobProfile& job,
+                                                const std::vector<std::string>& names) {
+  std::vector<std::vector<double>> out(names.size(),
+                                       std::vector<double>(job.ranks.size(), 0.0));
+  for (std::size_t ri = 0; ri < job.ranks.size(); ++ri) {
+    for (const EventRecord& e : job.ranks[ri].events) {
+      for (std::size_t ni = 0; ni < names.size(); ++ni) {
+        if (e.name == names[ni]) out[ni][ri] += e.tsum;
+      }
+    }
+  }
+  return out;
+}
+
+void write_banner(std::ostream& os, const JobProfile& job, const BannerOptions& opts) {
+  const int p = std::max(1, job.nranks);
+  double wall_total = 0.0;
+  double wall_min = 0.0;
+  double wall_max = 0.0;
+  std::uint64_t mem_total = 0;
+  std::uint64_t mem_min = 0;
+  std::uint64_t mem_max = 0;
+  for (std::size_t i = 0; i < job.ranks.size(); ++i) {
+    const RankProfile& r = job.ranks[i];
+    const double w = r.wallclock();
+    wall_total += w;
+    mem_total += r.mem_bytes;
+    if (i == 0) {
+      wall_min = wall_max = w;
+      mem_min = mem_max = r.mem_bytes;
+    } else {
+      wall_min = std::min(wall_min, w);
+      wall_max = std::max(wall_max, w);
+      mem_min = std::min(mem_min, r.mem_bytes);
+      mem_max = std::max(mem_max, r.mem_bytes);
+    }
+  }
+  const FamilyAgg mpi = family_agg(job, "MPI");
+  const FamilyAgg cuda = family_agg(job, "CUDA");
+  const FamilyAgg cublas = family_agg(job, "CUBLAS");
+  const FamilyAgg cufft = family_agg(job, "CUFFT");
+  const double pct_comm = wall_total > 0.0 ? 100.0 * mpi.total / wall_total : 0.0;
+  const std::string host = job.ranks.empty() ? "unknown" : job.ranks.front().hostname;
+  const int nodes_guess = [&] {
+    std::vector<std::string> hosts;
+    for (const RankProfile& r : job.ranks) hosts.push_back(r.hostname);
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+    return static_cast<int>(hosts.size());
+  }();
+
+  os << "##IPMv2.0########################################################\n";
+  os << "#\n";
+  os << strprintf("# command   : %s\n", job.command.c_str());
+  if (job.nranks > 1 && opts.full) {
+    os << strprintf("# start     : %s   host      : %s\n",
+                    simx::fmt_banner_date(job.start).c_str(), host.c_str());
+    os << strprintf("# stop      : %s   wallclock : %.2f\n",
+                    simx::fmt_banner_date(job.stop).c_str(), wall_max);
+    os << strprintf("# mpi_tasks : %d on %d nodes%*s%%comm     : %.2f\n", p, nodes_guess,
+                    std::max(1, 26 - static_cast<int>(std::to_string(p).size() +
+                                                      std::to_string(nodes_guess).size())),
+                    " ", pct_comm);
+    os << strprintf("# mem [GB]  : %.2f%*sgflop/sec : 0.00\n",
+                    static_cast<double>(mem_total) / (1024.0 * 1024.0 * 1024.0), 29, " ");
+    os << "#\n";
+    os << strprintf("#            :   [total]       <avg>         min         max\n");
+    const auto block = [&](const char* label, double total, double mn, double mx) {
+      os << strprintf("# %-10s : %9.2f   %9.2f   %9.2f   %9.2f\n", label, total,
+                      total / p, mn, mx);
+    };
+    block("wallclock", wall_total, wall_min, wall_max);
+    if (mpi.calls > 0) block("MPI", mpi.total, mpi.min_rank, mpi.max_rank);
+    if (cuda.calls > 0) block("CUDA", cuda.total, cuda.min_rank, cuda.max_rank);
+    if (cublas.calls > 0) block("CUBLAS", cublas.total, cublas.min_rank, cublas.max_rank);
+    if (cufft.calls > 0) block("CUFFT", cufft.total, cufft.min_rank, cufft.max_rank);
+    os << "#\n";
+    os << strprintf("# %%wall      :\n");
+    const auto pct = [&](const char* label, const FamilyAgg& a) {
+      if (a.calls == 0) return;
+      os << strprintf("#   %-8s :               %9.2f   %9.2f   %9.2f\n", label,
+                      100.0 * a.total / wall_total,
+                      wall_max > 0 ? 100.0 * a.min_rank / wall_max : 0.0,
+                      wall_max > 0 ? 100.0 * a.max_rank / wall_max : 0.0);
+    };
+    pct("MPI", mpi);
+    pct("CUDA", cuda);
+    pct("CUBLAS", cublas);
+    pct("CUFFT", cufft);
+    os << "#\n";
+    if (mpi.calls > 0) {
+      os << strprintf("# #calls     :\n");
+      os << strprintf("#   MPI      : %9llu   %9llu   %9llu   %9llu\n",
+                      static_cast<unsigned long long>(mpi.calls),
+                      static_cast<unsigned long long>(mpi.calls / static_cast<std::uint64_t>(p)),
+                      static_cast<unsigned long long>(mpi.min_calls),
+                      static_cast<unsigned long long>(mpi.max_calls));
+    }
+    if (mem_total > 0) {
+      os << strprintf("#   mem [GB] : %9.2f   %9.2f   %9.2f   %9.2f\n",
+                      static_cast<double>(mem_total) / (1 << 30),
+                      static_cast<double>(mem_total) / p / (1 << 30),
+                      static_cast<double>(mem_min) / (1 << 30),
+                      static_cast<double>(mem_max) / (1 << 30));
+    }
+  } else {
+    os << strprintf("# host      : %s\n", host.c_str());
+    os << strprintf("# wallclock : %.2f\n", wall_max);
+  }
+  os << "#\n";
+  os << strprintf("# %-24s   [time]     [count]    <%%wall>\n", "");
+  std::vector<FuncRow> rows = function_table(job);
+  std::size_t printed = 0;
+  for (const FuncRow& row : rows) {
+    if (opts.max_rows != 0 && printed++ >= opts.max_rows) break;
+    os << strprintf("# %-24s %8.2f  %10llu   %8.2f\n", row.name.c_str(), row.tsum,
+                    static_cast<unsigned long long>(row.count), row.pct_wall);
+  }
+  os << "#\n";
+  os << "#################################################################\n";
+}
+
+std::string banner_string(const JobProfile& job, const BannerOptions& opts) {
+  std::ostringstream ss;
+  write_banner(ss, job, opts);
+  return ss.str();
+}
+
+}  // namespace ipm
+
+namespace ipm {
+
+std::vector<SizeBucket> size_histogram(const Monitor& monitor, const std::string& name) {
+  std::map<std::uint64_t, SizeBucket> buckets;
+  monitor.table().for_each(
+      [&](const EventKey& key, const EventStats& st) {
+        if (name_of(key.name) != name) return;
+        SizeBucket& b = buckets[key.bytes];
+        b.bytes = key.bytes;
+        b.count += st.count;
+        b.tsum += st.tsum;
+      });
+  std::vector<SizeBucket> out;
+  out.reserve(buckets.size());
+  for (auto& [bytes, b] : buckets) out.push_back(b);
+  return out;
+}
+
+}  // namespace ipm

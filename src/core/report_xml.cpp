@@ -1,0 +1,107 @@
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ipm/report.hpp"
+#include "simcommon/str.hpp"
+#include "simcommon/xml.hpp"
+
+namespace ipm {
+
+void write_xml(std::ostream& os, const JobProfile& job) {
+  simx::xml::Writer w(os);
+  w.open("ipm", {{"version", "2.0"},
+                 {"command", job.command},
+                 {"nranks", std::to_string(job.nranks)},
+                 {"start", simx::strprintf("%.9f", job.start)},
+                 {"stop", simx::strprintf("%.9f", job.stop)}});
+  for (const RankProfile& r : job.ranks) {
+    w.open("task", {{"rank", std::to_string(r.rank)},
+                    {"host", r.hostname},
+                    {"start", simx::strprintf("%.9f", r.start)},
+                    {"stop", simx::strprintf("%.9f", r.stop)},
+                    {"mem_bytes", std::to_string(r.mem_bytes)},
+                    {"overflow", std::to_string(r.table_overflow)}});
+    // Group events per region so the log mirrors IPM's region structure.
+    for (std::uint32_t region = 0; region < r.regions.size(); ++region) {
+      bool any = false;
+      for (const EventRecord& e : r.events) {
+        if (e.region == region) {
+          any = true;
+          break;
+        }
+      }
+      if (!any && region != 0) continue;
+      w.open("region", {{"id", std::to_string(region)}, {"name", r.regions[region]}});
+      for (const EventRecord& e : r.events) {
+        if (e.region != region) continue;
+        w.leaf("func", {{"name", e.name},
+                        {"count", std::to_string(e.count)},
+                        {"tsum", simx::strprintf("%.9f", e.tsum)},
+                        {"tmin", simx::strprintf("%.9f", e.tmin)},
+                        {"tmax", simx::strprintf("%.9f", e.tmax)},
+                        {"bytes", std::to_string(e.bytes)},
+                        {"select", std::to_string(e.select)}});
+      }
+      w.close();
+    }
+    w.close();
+  }
+  w.finish();
+}
+
+void write_xml_file(const std::string& path, const JobProfile& job) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ipm: cannot open XML log '" + path + "'");
+  write_xml(out, job);
+}
+
+JobProfile parse_xml(const std::string& doc) {
+  const auto root = simx::xml::parse(doc);
+  if (root->name != "ipm") throw std::runtime_error("ipm: not an IPM XML log");
+  JobProfile job;
+  job.command = root->attr_or("command", "./a.out");
+  job.start = simx::parse_double(root->attr_or("start", "0"));
+  job.stop = simx::parse_double(root->attr_or("stop", "0"));
+  for (const auto* task : root->children_named("task")) {
+    RankProfile r;
+    r.rank = static_cast<int>(simx::parse_i64(task->attr("rank")));
+    r.hostname = task->attr_or("host", "unknown");
+    r.start = simx::parse_double(task->attr_or("start", "0"));
+    r.stop = simx::parse_double(task->attr_or("stop", "0"));
+    r.mem_bytes = static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("mem_bytes", "0")));
+    r.table_overflow =
+        static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("overflow", "0")));
+    for (const auto* region : task->children_named("region")) {
+      const auto id = static_cast<std::uint32_t>(simx::parse_i64(region->attr("id")));
+      while (r.regions.size() <= id) r.regions.emplace_back("ipm_global");
+      r.regions[id] = region->attr_or("name", "ipm_global");
+      for (const auto* func : region->children_named("func")) {
+        EventRecord e;
+        e.name = func->attr("name");
+        e.region = id;
+        e.count = static_cast<std::uint64_t>(simx::parse_i64(func->attr("count")));
+        e.tsum = simx::parse_double(func->attr("tsum"));
+        e.tmin = simx::parse_double(func->attr_or("tmin", "0"));
+        e.tmax = simx::parse_double(func->attr_or("tmax", "0"));
+        e.bytes = static_cast<std::uint64_t>(simx::parse_i64(func->attr_or("bytes", "0")));
+        e.select = static_cast<std::int32_t>(simx::parse_i64(func->attr_or("select", "0")));
+        r.events.push_back(std::move(e));
+      }
+    }
+    job.ranks.push_back(std::move(r));
+  }
+  job.nranks = static_cast<int>(job.ranks.size());
+  return job;
+}
+
+JobProfile parse_xml_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ipm: cannot open XML log '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_xml(ss.str());
+}
+
+}  // namespace ipm

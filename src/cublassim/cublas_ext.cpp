@@ -1,0 +1,370 @@
+// Extended CUBLAS surface (see cublassim/cublas_ext.h): complex L1, L2
+// rank-1/triangular, and further L3 routines.  Same structure as
+// cublas.cpp — named device kernels via the public launch ABI, reference
+// numerics as the kernel body.
+#include "cublassim/cublas_ext.h"
+
+#include "hostblas/ref.hpp"
+#include "launch_helpers.hpp"
+
+namespace {
+
+using cublassim_detail::cc;
+using cublassim_detail::from_std;
+using cublassim_detail::gemm_kernel_name;
+using cublassim_detail::l1_kernel;
+using cublassim_detail::launch_blas_kernel;
+using cublassim_detail::to_std;
+using cublassim_detail::zc;
+
+/// Blocking L1 reduction: run the kernel, synchronize, return the value
+/// computed by the body (CUBLAS v1 reductions return to the host).
+template <typename T, typename Fn>
+auto l1_reduce(const std::string& name, int n, double flops_per_elem, Fn&& fn) {
+  decltype(fn()) result{};
+  l1_kernel<T>(name, n, flops_per_elem, [&] { result = fn(); });
+  cudaThreadSynchronize();
+  return result;
+}
+
+}  // namespace
+
+extern "C" {
+
+// BLAS1, complex ---------------------------------------------------------------
+
+int cublasIcamax(int n, const cuComplex* x, int incx) {
+  return l1_reduce<cc>("icamax_kernel", n, 2.0, [&] {
+    return refblas::amax(n, reinterpret_cast<const cc*>(x), incx);
+  });
+}
+
+int cublasIzamax(int n, const cuDoubleComplex* x, int incx) {
+  return l1_reduce<zc>("izamax_kernel", n, 2.0, [&] {
+    return refblas::amax(n, reinterpret_cast<const zc*>(x), incx);
+  });
+}
+
+float cublasScasum(int n, const cuComplex* x, int incx) {
+  return l1_reduce<cc>("scasum_kernel", n, 2.0, [&] {
+    return static_cast<float>(refblas::asum(n, reinterpret_cast<const cc*>(x), incx));
+  });
+}
+
+double cublasDzasum(int n, const cuDoubleComplex* x, int incx) {
+  return l1_reduce<zc>("dzasum_kernel", n, 2.0, [&] {
+    return refblas::asum(n, reinterpret_cast<const zc*>(x), incx);
+  });
+}
+
+float cublasScnrm2(int n, const cuComplex* x, int incx) {
+  return l1_reduce<cc>("scnrm2_kernel", n, 4.0, [&] {
+    return static_cast<float>(refblas::nrm2(n, reinterpret_cast<const cc*>(x), incx));
+  });
+}
+
+double cublasDznrm2(int n, const cuDoubleComplex* x, int incx) {
+  return l1_reduce<zc>("dznrm2_kernel", n, 4.0, [&] {
+    return refblas::nrm2(n, reinterpret_cast<const zc*>(x), incx);
+  });
+}
+
+void cublasCaxpy(int n, cuComplex alpha, const cuComplex* x, int incx, cuComplex* y,
+                 int incy) {
+  const cc za = to_std(alpha);
+  l1_kernel<cc>("caxpy_kernel", n, 8.0, [=] {
+    refblas::axpy(n, za, reinterpret_cast<const cc*>(x), incx, reinterpret_cast<cc*>(y),
+                  incy);
+  });
+}
+
+void cublasCcopy(int n, const cuComplex* x, int incx, cuComplex* y, int incy) {
+  l1_kernel<cc>("ccopy_kernel", n, 0.5, [=] {
+    refblas::copy(n, reinterpret_cast<const cc*>(x), incx, reinterpret_cast<cc*>(y),
+                  incy);
+  });
+}
+
+void cublasZcopy(int n, const cuDoubleComplex* x, int incx, cuDoubleComplex* y,
+                 int incy) {
+  l1_kernel<zc>("zcopy_kernel", n, 0.5, [=] {
+    refblas::copy(n, reinterpret_cast<const zc*>(x), incx, reinterpret_cast<zc*>(y),
+                  incy);
+  });
+}
+
+void cublasCswap(int n, cuComplex* x, int incx, cuComplex* y, int incy) {
+  l1_kernel<cc>("cswap_kernel", n, 0.5, [=] {
+    refblas::swap(n, reinterpret_cast<cc*>(x), incx, reinterpret_cast<cc*>(y), incy);
+  });
+}
+
+void cublasZswap(int n, cuDoubleComplex* x, int incx, cuDoubleComplex* y, int incy) {
+  l1_kernel<zc>("zswap_kernel", n, 0.5, [=] {
+    refblas::swap(n, reinterpret_cast<zc*>(x), incx, reinterpret_cast<zc*>(y), incy);
+  });
+}
+
+void cublasCscal(int n, cuComplex alpha, cuComplex* x, int incx) {
+  const cc za = to_std(alpha);
+  l1_kernel<cc>("cscal_kernel", n, 4.0,
+                [=] { refblas::scal(n, za, reinterpret_cast<cc*>(x), incx); });
+}
+
+void cublasCsscal(int n, float alpha, cuComplex* x, int incx) {
+  l1_kernel<cc>("csscal_kernel", n, 2.0,
+                [=] { refblas::scal(n, cc(alpha, 0.0F), reinterpret_cast<cc*>(x), incx); });
+}
+
+void cublasZdscal(int n, double alpha, cuDoubleComplex* x, int incx) {
+  l1_kernel<zc>("zdscal_kernel", n, 2.0,
+                [=] { refblas::scal(n, zc(alpha, 0.0), reinterpret_cast<zc*>(x), incx); });
+}
+
+cuComplex cublasCdotu(int n, const cuComplex* x, int incx, const cuComplex* y, int incy) {
+  return from_std(l1_reduce<cc>("cdotu_kernel", n, 8.0, [&] {
+    return refblas::dot(n, reinterpret_cast<const cc*>(x), incx,
+                        reinterpret_cast<const cc*>(y), incy);
+  }));
+}
+
+cuComplex cublasCdotc(int n, const cuComplex* x, int incx, const cuComplex* y, int incy) {
+  return from_std(l1_reduce<cc>("cdotc_kernel", n, 8.0, [&] {
+    return refblas::dotc(n, reinterpret_cast<const cc*>(x), incx,
+                         reinterpret_cast<const cc*>(y), incy);
+  }));
+}
+
+cuDoubleComplex cublasZdotu(int n, const cuDoubleComplex* x, int incx,
+                            const cuDoubleComplex* y, int incy) {
+  return from_std(l1_reduce<zc>("zdotu_kernel", n, 8.0, [&] {
+    return refblas::dot(n, reinterpret_cast<const zc*>(x), incx,
+                        reinterpret_cast<const zc*>(y), incy);
+  }));
+}
+
+cuDoubleComplex cublasZdotc(int n, const cuDoubleComplex* x, int incx,
+                            const cuDoubleComplex* y, int incy) {
+  return from_std(l1_reduce<zc>("zdotc_kernel", n, 8.0, [&] {
+    return refblas::dotc(n, reinterpret_cast<const zc*>(x), incx,
+                         reinterpret_cast<const zc*>(y), incy);
+  }));
+}
+
+// BLAS2 -------------------------------------------------------------------------
+
+void cublasCgemv(char trans, int m, int n, cuComplex alpha, const cuComplex* a, int lda,
+                 const cuComplex* x, int incx, cuComplex beta, cuComplex* y, int incy) {
+  const cc za = to_std(alpha);
+  const cc zb = to_std(beta);
+  launch_blas_kernel("cgemv_kernel", 8.0 * m * n, sizeof(cc) * (1.0 * m * n), false, 0.5,
+                     [=] {
+                       refblas::gemv(refblas::trans_of(trans), m, n, za,
+                                     reinterpret_cast<const cc*>(a), lda,
+                                     reinterpret_cast<const cc*>(x), incx, zb,
+                                     reinterpret_cast<cc*>(y), incy);
+                     });
+}
+
+void cublasZgemv(char trans, int m, int n, cuDoubleComplex alpha, const cuDoubleComplex* a,
+                 int lda, const cuDoubleComplex* x, int incx, cuDoubleComplex beta,
+                 cuDoubleComplex* y, int incy) {
+  const zc za = to_std(alpha);
+  const zc zb = to_std(beta);
+  launch_blas_kernel("zgemv_kernel", 8.0 * m * n, sizeof(zc) * (1.0 * m * n), true, 0.5,
+                     [=] {
+                       refblas::gemv(refblas::trans_of(trans), m, n, za,
+                                     reinterpret_cast<const zc*>(a), lda,
+                                     reinterpret_cast<const zc*>(x), incx, zb,
+                                     reinterpret_cast<zc*>(y), incy);
+                     });
+}
+
+void cublasSger(int m, int n, float alpha, const float* x, int incx, const float* y,
+                int incy, float* a, int lda) {
+  launch_blas_kernel("sger_kernel", 2.0 * m * n, sizeof(float) * (1.0 * m * n), false,
+                     0.5, [=] { refblas::ger(m, n, alpha, x, incx, y, incy, a, lda); });
+}
+
+void cublasDger(int m, int n, double alpha, const double* x, int incx, const double* y,
+                int incy, double* a, int lda) {
+  launch_blas_kernel("dger_kernel", 2.0 * m * n, sizeof(double) * (1.0 * m * n), true,
+                     0.5, [=] { refblas::ger(m, n, alpha, x, incx, y, incy, a, lda); });
+}
+
+void cublasSsyr(char uplo, int n, float alpha, const float* x, int incx, float* a,
+                int lda) {
+  launch_blas_kernel("ssyr_kernel", 2.0 * n * n, sizeof(float) * (1.0 * n * n), false,
+                     0.5, [=] { refblas::syr(uplo, n, alpha, x, incx, a, lda); });
+}
+
+void cublasDsyr(char uplo, int n, double alpha, const double* x, int incx, double* a,
+                int lda) {
+  launch_blas_kernel("dsyr_kernel", 2.0 * n * n, sizeof(double) * (1.0 * n * n), true,
+                     0.5, [=] { refblas::syr(uplo, n, alpha, x, incx, a, lda); });
+}
+
+void cublasStrmv(char uplo, char trans, char diag, int n, const float* a, int lda,
+                 float* x, int incx) {
+  launch_blas_kernel("strmv_kernel", 1.0 * n * n, sizeof(float) * (0.5 * n * n), false,
+                     0.45, [=] { refblas::trmv(uplo, trans, diag, n, a, lda, x, incx); });
+}
+
+void cublasDtrmv(char uplo, char trans, char diag, int n, const double* a, int lda,
+                 double* x, int incx) {
+  launch_blas_kernel("dtrmv_kernel", 1.0 * n * n, sizeof(double) * (0.5 * n * n), true,
+                     0.45, [=] { refblas::trmv(uplo, trans, diag, n, a, lda, x, incx); });
+}
+
+void cublasStrsv(char uplo, char trans, char diag, int n, const float* a, int lda,
+                 float* x, int incx) {
+  launch_blas_kernel("strsv_kernel", 1.0 * n * n, sizeof(float) * (0.5 * n * n), false,
+                     0.35, [=] { refblas::trsv(uplo, trans, diag, n, a, lda, x, incx); });
+}
+
+void cublasDtrsv(char uplo, char trans, char diag, int n, const double* a, int lda,
+                 double* x, int incx) {
+  launch_blas_kernel("dtrsv_kernel", 1.0 * n * n, sizeof(double) * (0.5 * n * n), true,
+                     0.35, [=] { refblas::trsv(uplo, trans, diag, n, a, lda, x, incx); });
+}
+
+// BLAS3 -------------------------------------------------------------------------
+
+void cublasSsyrk(char uplo, char trans, int n, int k, float alpha, const float* a,
+                 int lda, float beta, float* c, int ldc) {
+  launch_blas_kernel("ssyrk_kernel", 1.0 * n * n * k, sizeof(float) * (1.0 * n * k),
+                     false, 0.55, [=] {
+                       refblas::syrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+                     });
+}
+
+void cublasZsyrk(char uplo, char trans, int n, int k, cuDoubleComplex alpha,
+                 const cuDoubleComplex* a, int lda, cuDoubleComplex beta,
+                 cuDoubleComplex* c, int ldc) {
+  const zc za = to_std(alpha);
+  const zc zb = to_std(beta);
+  launch_blas_kernel("zsyrk_kernel", 4.0 * n * n * k, sizeof(zc) * (1.0 * n * k), true,
+                     0.55, [=] {
+                       refblas::syrk(uplo, trans, n, k, za,
+                                     reinterpret_cast<const zc*>(a), lda, zb,
+                                     reinterpret_cast<zc*>(c), ldc);
+                     });
+}
+
+void cublasSsymm(char side, char uplo, int m, int n, float alpha, const float* a, int lda,
+                 const float* b, int ldb, float beta, float* c, int ldc) {
+  launch_blas_kernel("ssymm_kernel", 2.0 * m * n * (side == 'L' || side == 'l' ? m : n),
+                     sizeof(float) * (1.0 * m * n), false, 0.55, [=] {
+                       refblas::symm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c,
+                                     ldc);
+                     });
+}
+
+void cublasDsymm(char side, char uplo, int m, int n, double alpha, const double* a,
+                 int lda, const double* b, int ldb, double beta, double* c, int ldc) {
+  launch_blas_kernel("dsymm_kernel", 2.0 * m * n * (side == 'L' || side == 'l' ? m : n),
+                     sizeof(double) * (1.0 * m * n), true, 0.55, [=] {
+                       refblas::symm(side, uplo, m, n, alpha, a, lda, b, ldb, beta, c,
+                                     ldc);
+                     });
+}
+
+void cublasCtrsm(char side, char uplo, char transa, char diag, int m, int n,
+                 cuComplex alpha, const cuComplex* a, int lda, cuComplex* b, int ldb) {
+  const cc za = to_std(alpha);
+  launch_blas_kernel("ctrsm_gpu_64_mm", refblas::trsm_flops<cc>(side, m, n),
+                     sizeof(cc) * (1.0 * m * n), false, 0.4, [=] {
+                       refblas::trsm(side, uplo, transa, diag, m, n, za,
+                                     reinterpret_cast<const cc*>(a), lda,
+                                     reinterpret_cast<cc*>(b), ldb);
+                     });
+}
+
+void cublasZtrsm(char side, char uplo, char transa, char diag, int m, int n,
+                 cuDoubleComplex alpha, const cuDoubleComplex* a, int lda,
+                 cuDoubleComplex* b, int ldb) {
+  const zc za = to_std(alpha);
+  launch_blas_kernel("ztrsm_gpu_64_mm", refblas::trsm_flops<zc>(side, m, n),
+                     sizeof(zc) * (1.0 * m * n), true, 0.4, [=] {
+                       refblas::trsm(side, uplo, transa, diag, m, n, za,
+                                     reinterpret_cast<const zc*>(a), lda,
+                                     reinterpret_cast<zc*>(b), ldb);
+                     });
+}
+
+void cublasStrmm(char side, char uplo, char transa, char diag, int m, int n, float alpha,
+                 const float* a, int lda, float* b, int ldb) {
+  launch_blas_kernel("strmm_kernel", refblas::trsm_flops<float>(side, m, n),
+                     sizeof(float) * (1.0 * m * n), false, 0.5, [=] {
+                       refblas::trmm(side, uplo, transa, diag, m, n, alpha, a, lda, b,
+                                     ldb);
+                     });
+}
+
+void cublasDtrmm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+                 const double* a, int lda, double* b, int ldb) {
+  launch_blas_kernel("dtrmm_kernel", refblas::trsm_flops<double>(side, m, n),
+                     sizeof(double) * (1.0 * m * n), true, 0.5, [=] {
+                       refblas::trmm(side, uplo, transa, diag, m, n, alpha, a, lda, b,
+                                     ldb);
+                     });
+}
+
+// cublassim_real_* aliases (interposition pattern; GNU alias attributes
+// require the target defined in this translation unit).
+#define CUBLASSIM_ALIAS(ret, name, params) \
+  extern "C" ret cublassim_real_##name params __attribute__((alias(#name)))
+
+CUBLASSIM_ALIAS(int, cublasIcamax, (int, const cuComplex*, int));
+CUBLASSIM_ALIAS(int, cublasIzamax, (int, const cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(float, cublasScasum, (int, const cuComplex*, int));
+CUBLASSIM_ALIAS(double, cublasDzasum, (int, const cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(float, cublasScnrm2, (int, const cuComplex*, int));
+CUBLASSIM_ALIAS(double, cublasDznrm2, (int, const cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCaxpy, (int, cuComplex, const cuComplex*, int, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCcopy, (int, const cuComplex*, int, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasZcopy, (int, const cuDoubleComplex*, int, cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCswap, (int, cuComplex*, int, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasZswap, (int, cuDoubleComplex*, int, cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCscal, (int, cuComplex, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCsscal, (int, float, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasZdscal, (int, double, cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(cuComplex, cublasCdotu, (int, const cuComplex*, int, const cuComplex*, int));
+CUBLASSIM_ALIAS(cuComplex, cublasCdotc, (int, const cuComplex*, int, const cuComplex*, int));
+CUBLASSIM_ALIAS(cuDoubleComplex, cublasZdotu,
+                (int, const cuDoubleComplex*, int, const cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(cuDoubleComplex, cublasZdotc,
+                (int, const cuDoubleComplex*, int, const cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasCgemv,
+                (char, int, int, cuComplex, const cuComplex*, int, const cuComplex*, int,
+                 cuComplex, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasZgemv,
+                (char, int, int, cuDoubleComplex, const cuDoubleComplex*, int,
+                 const cuDoubleComplex*, int, cuDoubleComplex, cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasSger, (int, int, float, const float*, int, const float*, int, float*, int));
+CUBLASSIM_ALIAS(void, cublasDger, (int, int, double, const double*, int, const double*, int, double*, int));
+CUBLASSIM_ALIAS(void, cublasSsyr, (char, int, float, const float*, int, float*, int));
+CUBLASSIM_ALIAS(void, cublasDsyr, (char, int, double, const double*, int, double*, int));
+CUBLASSIM_ALIAS(void, cublasStrmv, (char, char, char, int, const float*, int, float*, int));
+CUBLASSIM_ALIAS(void, cublasDtrmv, (char, char, char, int, const double*, int, double*, int));
+CUBLASSIM_ALIAS(void, cublasStrsv, (char, char, char, int, const float*, int, float*, int));
+CUBLASSIM_ALIAS(void, cublasDtrsv, (char, char, char, int, const double*, int, double*, int));
+CUBLASSIM_ALIAS(void, cublasSsyrk, (char, char, int, int, float, const float*, int, float, float*, int));
+CUBLASSIM_ALIAS(void, cublasZsyrk,
+                (char, char, int, int, cuDoubleComplex, const cuDoubleComplex*, int,
+                 cuDoubleComplex, cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasSsymm,
+                (char, char, int, int, float, const float*, int, const float*, int, float, float*, int));
+CUBLASSIM_ALIAS(void, cublasDsymm,
+                (char, char, int, int, double, const double*, int, const double*, int, double, double*, int));
+CUBLASSIM_ALIAS(void, cublasCtrsm,
+                (char, char, char, char, int, int, cuComplex, const cuComplex*, int, cuComplex*, int));
+CUBLASSIM_ALIAS(void, cublasZtrsm,
+                (char, char, char, char, int, int, cuDoubleComplex, const cuDoubleComplex*, int,
+                 cuDoubleComplex*, int));
+CUBLASSIM_ALIAS(void, cublasStrmm,
+                (char, char, char, char, int, int, float, const float*, int, float*, int));
+CUBLASSIM_ALIAS(void, cublasDtrmm,
+                (char, char, char, char, int, int, double, const double*, int, double*, int));
+
+}  // extern "C"

@@ -1,0 +1,97 @@
+// cublassim: a CUBLAS-v1-style accelerated BLAS library on top of cudasim
+// (paper §III-D monitors CUBLAS via interposition; §IV-C/D evaluate HPL and
+// PARATEC through it).  Helper routines (SetMatrix/GetMatrix/...) move data
+// through the public cudaMemcpy path, so a monitored application sees both
+// the cublas* call and the underlying transfer, exactly as with the real
+// library under LD_PRELOAD.  Compute routines launch named internal kernels
+// (dgemm_nn_e_kernel, dtrsm_gpu_64_mm, ...) through the public launch ABI,
+// so GPU kernel timing attributes them like any user kernel.
+#pragma once
+
+#include <cstddef>
+
+#include "cudasim/cuda_runtime.h"
+
+extern "C" {
+
+typedef unsigned int cublasStatus;
+#define CUBLAS_STATUS_SUCCESS 0x00000000
+#define CUBLAS_STATUS_NOT_INITIALIZED 0x00000001
+#define CUBLAS_STATUS_ALLOC_FAILED 0x00000003
+#define CUBLAS_STATUS_INVALID_VALUE 0x00000007
+#define CUBLAS_STATUS_MAPPING_ERROR 0x0000000B
+#define CUBLAS_STATUS_EXECUTION_FAILED 0x0000000D
+#define CUBLAS_STATUS_INTERNAL_ERROR 0x0000000E
+
+struct cuComplex {
+  float x, y;
+};
+struct cuDoubleComplex {
+  double x, y;
+};
+
+// Helper functions ------------------------------------------------------------
+cublasStatus cublasInit(void);
+cublasStatus cublasShutdown(void);
+cublasStatus cublasGetError(void);
+cublasStatus cublasAlloc(int n, int elemSize, void** devicePtr);
+cublasStatus cublasFree(void* devicePtr);
+cublasStatus cublasSetVector(int n, int elemSize, const void* x, int incx, void* y,
+                             int incy);
+cublasStatus cublasGetVector(int n, int elemSize, const void* x, int incx, void* y,
+                             int incy);
+cublasStatus cublasSetMatrix(int rows, int cols, int elemSize, const void* a, int lda,
+                             void* b, int ldb);
+cublasStatus cublasGetMatrix(int rows, int cols, int elemSize, const void* a, int lda,
+                             void* b, int ldb);
+cublasStatus cublasSetKernelStream(cudaStream_t stream);
+
+// BLAS1 -----------------------------------------------------------------------
+int cublasIsamax(int n, const float* x, int incx);
+int cublasIdamax(int n, const double* x, int incx);
+float cublasSasum(int n, const float* x, int incx);
+double cublasDasum(int n, const double* x, int incx);
+void cublasSaxpy(int n, float alpha, const float* x, int incx, float* y, int incy);
+void cublasDaxpy(int n, double alpha, const double* x, int incx, double* y, int incy);
+void cublasZaxpy(int n, struct cuDoubleComplex alpha, const struct cuDoubleComplex* x,
+                 int incx, struct cuDoubleComplex* y, int incy);
+void cublasScopy(int n, const float* x, int incx, float* y, int incy);
+void cublasDcopy(int n, const double* x, int incx, double* y, int incy);
+float cublasSdot(int n, const float* x, int incx, const float* y, int incy);
+double cublasDdot(int n, const double* x, int incx, const double* y, int incy);
+float cublasSnrm2(int n, const float* x, int incx);
+double cublasDnrm2(int n, const double* x, int incx);
+void cublasSscal(int n, float alpha, float* x, int incx);
+void cublasDscal(int n, double alpha, double* x, int incx);
+void cublasZscal(int n, struct cuDoubleComplex alpha, struct cuDoubleComplex* x, int incx);
+void cublasSswap(int n, float* x, int incx, float* y, int incy);
+void cublasDswap(int n, double* x, int incx, double* y, int incy);
+
+// BLAS2 -----------------------------------------------------------------------
+void cublasSgemv(char trans, int m, int n, float alpha, const float* a, int lda,
+                 const float* x, int incx, float beta, float* y, int incy);
+void cublasDgemv(char trans, int m, int n, double alpha, const double* a, int lda,
+                 const double* x, int incx, double beta, double* y, int incy);
+
+// BLAS3 -----------------------------------------------------------------------
+void cublasSgemm(char transa, char transb, int m, int n, int k, float alpha,
+                 const float* a, int lda, const float* b, int ldb, float beta, float* c,
+                 int ldc);
+void cublasDgemm(char transa, char transb, int m, int n, int k, double alpha,
+                 const double* a, int lda, const double* b, int ldb, double beta,
+                 double* c, int ldc);
+void cublasCgemm(char transa, char transb, int m, int n, int k, struct cuComplex alpha,
+                 const struct cuComplex* a, int lda, const struct cuComplex* b, int ldb,
+                 struct cuComplex beta, struct cuComplex* c, int ldc);
+void cublasZgemm(char transa, char transb, int m, int n, int k,
+                 struct cuDoubleComplex alpha, const struct cuDoubleComplex* a, int lda,
+                 const struct cuDoubleComplex* b, int ldb, struct cuDoubleComplex beta,
+                 struct cuDoubleComplex* c, int ldc);
+void cublasStrsm(char side, char uplo, char transa, char diag, int m, int n, float alpha,
+                 const float* a, int lda, float* b, int ldb);
+void cublasDtrsm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+                 const double* a, int lda, double* b, int ldb);
+void cublasDsyrk(char uplo, char trans, int n, int k, double alpha, const double* a,
+                 int lda, double beta, double* c, int ldc);
+
+}  // extern "C"

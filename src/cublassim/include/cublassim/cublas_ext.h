@@ -1,0 +1,86 @@
+// Extended CUBLAS surface: complex L1, L2 rank-1/triangular, and further
+// L3 routines.  Together with cublas.h this brings cublassim to ~75 of the
+// 167 entry points the paper counts for the real library — every family
+// (s/d/c/z × L1/L2/L3) is represented, and the wrapper generator shows how
+// the remainder would be produced mechanically.
+#pragma once
+
+#include "cublassim/cublas.h"
+
+extern "C" {
+
+// BLAS1, complex ---------------------------------------------------------------
+int cublasIcamax(int n, const struct cuComplex* x, int incx);
+int cublasIzamax(int n, const struct cuDoubleComplex* x, int incx);
+float cublasScasum(int n, const struct cuComplex* x, int incx);
+double cublasDzasum(int n, const struct cuDoubleComplex* x, int incx);
+float cublasScnrm2(int n, const struct cuComplex* x, int incx);
+double cublasDznrm2(int n, const struct cuDoubleComplex* x, int incx);
+void cublasCaxpy(int n, struct cuComplex alpha, const struct cuComplex* x, int incx,
+                 struct cuComplex* y, int incy);
+void cublasCcopy(int n, const struct cuComplex* x, int incx, struct cuComplex* y,
+                 int incy);
+void cublasZcopy(int n, const struct cuDoubleComplex* x, int incx,
+                 struct cuDoubleComplex* y, int incy);
+void cublasCswap(int n, struct cuComplex* x, int incx, struct cuComplex* y, int incy);
+void cublasZswap(int n, struct cuDoubleComplex* x, int incx, struct cuDoubleComplex* y,
+                 int incy);
+void cublasCscal(int n, struct cuComplex alpha, struct cuComplex* x, int incx);
+void cublasCsscal(int n, float alpha, struct cuComplex* x, int incx);
+void cublasZdscal(int n, double alpha, struct cuDoubleComplex* x, int incx);
+struct cuComplex cublasCdotu(int n, const struct cuComplex* x, int incx,
+                             const struct cuComplex* y, int incy);
+struct cuComplex cublasCdotc(int n, const struct cuComplex* x, int incx,
+                             const struct cuComplex* y, int incy);
+struct cuDoubleComplex cublasZdotu(int n, const struct cuDoubleComplex* x, int incx,
+                                   const struct cuDoubleComplex* y, int incy);
+struct cuDoubleComplex cublasZdotc(int n, const struct cuDoubleComplex* x, int incx,
+                                   const struct cuDoubleComplex* y, int incy);
+
+// BLAS2 -------------------------------------------------------------------------
+void cublasCgemv(char trans, int m, int n, struct cuComplex alpha,
+                 const struct cuComplex* a, int lda, const struct cuComplex* x, int incx,
+                 struct cuComplex beta, struct cuComplex* y, int incy);
+void cublasZgemv(char trans, int m, int n, struct cuDoubleComplex alpha,
+                 const struct cuDoubleComplex* a, int lda, const struct cuDoubleComplex* x,
+                 int incx, struct cuDoubleComplex beta, struct cuDoubleComplex* y,
+                 int incy);
+void cublasSger(int m, int n, float alpha, const float* x, int incx, const float* y,
+                int incy, float* a, int lda);
+void cublasDger(int m, int n, double alpha, const double* x, int incx, const double* y,
+                int incy, double* a, int lda);
+void cublasSsyr(char uplo, int n, float alpha, const float* x, int incx, float* a,
+                int lda);
+void cublasDsyr(char uplo, int n, double alpha, const double* x, int incx, double* a,
+                int lda);
+void cublasStrmv(char uplo, char trans, char diag, int n, const float* a, int lda,
+                 float* x, int incx);
+void cublasDtrmv(char uplo, char trans, char diag, int n, const double* a, int lda,
+                 double* x, int incx);
+void cublasStrsv(char uplo, char trans, char diag, int n, const float* a, int lda,
+                 float* x, int incx);
+void cublasDtrsv(char uplo, char trans, char diag, int n, const double* a, int lda,
+                 double* x, int incx);
+
+// BLAS3 -------------------------------------------------------------------------
+void cublasSsyrk(char uplo, char trans, int n, int k, float alpha, const float* a,
+                 int lda, float beta, float* c, int ldc);
+void cublasZsyrk(char uplo, char trans, int n, int k, struct cuDoubleComplex alpha,
+                 const struct cuDoubleComplex* a, int lda, struct cuDoubleComplex beta,
+                 struct cuDoubleComplex* c, int ldc);
+void cublasSsymm(char side, char uplo, int m, int n, float alpha, const float* a,
+                 int lda, const float* b, int ldb, float beta, float* c, int ldc);
+void cublasDsymm(char side, char uplo, int m, int n, double alpha, const double* a,
+                 int lda, const double* b, int ldb, double beta, double* c, int ldc);
+void cublasCtrsm(char side, char uplo, char transa, char diag, int m, int n,
+                 struct cuComplex alpha, const struct cuComplex* a, int lda,
+                 struct cuComplex* b, int ldb);
+void cublasZtrsm(char side, char uplo, char transa, char diag, int m, int n,
+                 struct cuDoubleComplex alpha, const struct cuDoubleComplex* a, int lda,
+                 struct cuDoubleComplex* b, int ldb);
+void cublasStrmm(char side, char uplo, char transa, char diag, int m, int n, float alpha,
+                 const float* a, int lda, float* b, int ldb);
+void cublasDtrmm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+                 const double* a, int lda, double* b, int ldb);
+
+}  // extern "C"

@@ -1,0 +1,167 @@
+// "Real" aliases of the CUBLAS entry points (same pattern as cudasim/real.h
+// and mpisim/real.h): under --wrap interposition every reference to
+// cublasX is rewritten, so the generated wrappers reach the implementation
+// through these alias symbols instead.
+#pragma once
+
+#include "cublassim/cublas.h"
+
+extern "C" {
+
+cublasStatus cublassim_real_cublasInit(void);
+cublasStatus cublassim_real_cublasShutdown(void);
+cublasStatus cublassim_real_cublasGetError(void);
+cublasStatus cublassim_real_cublasAlloc(int n, int elemSize, void** devicePtr);
+cublasStatus cublassim_real_cublasFree(void* devicePtr);
+cublasStatus cublassim_real_cublasSetVector(int n, int elemSize, const void* x, int incx,
+                                            void* y, int incy);
+cublasStatus cublassim_real_cublasGetVector(int n, int elemSize, const void* x, int incx,
+                                            void* y, int incy);
+cublasStatus cublassim_real_cublasSetMatrix(int rows, int cols, int elemSize,
+                                            const void* a, int lda, void* b, int ldb);
+cublasStatus cublassim_real_cublasGetMatrix(int rows, int cols, int elemSize,
+                                            const void* a, int lda, void* b, int ldb);
+cublasStatus cublassim_real_cublasSetKernelStream(cudaStream_t stream);
+int cublassim_real_cublasIsamax(int n, const float* x, int incx);
+int cublassim_real_cublasIdamax(int n, const double* x, int incx);
+float cublassim_real_cublasSasum(int n, const float* x, int incx);
+double cublassim_real_cublasDasum(int n, const double* x, int incx);
+void cublassim_real_cublasSaxpy(int n, float alpha, const float* x, int incx, float* y,
+                                int incy);
+void cublassim_real_cublasDaxpy(int n, double alpha, const double* x, int incx, double* y,
+                                int incy);
+void cublassim_real_cublasZaxpy(int n, struct cuDoubleComplex alpha,
+                                const struct cuDoubleComplex* x, int incx,
+                                struct cuDoubleComplex* y, int incy);
+void cublassim_real_cublasScopy(int n, const float* x, int incx, float* y, int incy);
+void cublassim_real_cublasDcopy(int n, const double* x, int incx, double* y, int incy);
+float cublassim_real_cublasSdot(int n, const float* x, int incx, const float* y, int incy);
+double cublassim_real_cublasDdot(int n, const double* x, int incx, const double* y,
+                                 int incy);
+float cublassim_real_cublasSnrm2(int n, const float* x, int incx);
+double cublassim_real_cublasDnrm2(int n, const double* x, int incx);
+void cublassim_real_cublasSscal(int n, float alpha, float* x, int incx);
+void cublassim_real_cublasDscal(int n, double alpha, double* x, int incx);
+void cublassim_real_cublasZscal(int n, struct cuDoubleComplex alpha,
+                                struct cuDoubleComplex* x, int incx);
+void cublassim_real_cublasSswap(int n, float* x, int incx, float* y, int incy);
+void cublassim_real_cublasDswap(int n, double* x, int incx, double* y, int incy);
+void cublassim_real_cublasSgemv(char trans, int m, int n, float alpha, const float* a,
+                                int lda, const float* x, int incx, float beta, float* y,
+                                int incy);
+void cublassim_real_cublasDgemv(char trans, int m, int n, double alpha, const double* a,
+                                int lda, const double* x, int incx, double beta, double* y,
+                                int incy);
+void cublassim_real_cublasSgemm(char transa, char transb, int m, int n, int k, float alpha,
+                                const float* a, int lda, const float* b, int ldb,
+                                float beta, float* c, int ldc);
+void cublassim_real_cublasDgemm(char transa, char transb, int m, int n, int k,
+                                double alpha, const double* a, int lda, const double* b,
+                                int ldb, double beta, double* c, int ldc);
+void cublassim_real_cublasCgemm(char transa, char transb, int m, int n, int k,
+                                struct cuComplex alpha, const struct cuComplex* a, int lda,
+                                const struct cuComplex* b, int ldb, struct cuComplex beta,
+                                struct cuComplex* c, int ldc);
+void cublassim_real_cublasZgemm(char transa, char transb, int m, int n, int k,
+                                struct cuDoubleComplex alpha,
+                                const struct cuDoubleComplex* a, int lda,
+                                const struct cuDoubleComplex* b, int ldb,
+                                struct cuDoubleComplex beta, struct cuDoubleComplex* c,
+                                int ldc);
+void cublassim_real_cublasStrsm(char side, char uplo, char transa, char diag, int m, int n,
+                                float alpha, const float* a, int lda, float* b, int ldb);
+void cublassim_real_cublasDtrsm(char side, char uplo, char transa, char diag, int m, int n,
+                                double alpha, const double* a, int lda, double* b, int ldb);
+void cublassim_real_cublasDsyrk(char uplo, char trans, int n, int k, double alpha,
+                                const double* a, int lda, double beta, double* c, int ldc);
+
+}  // extern "C"
+
+// Extended surface (cublas_ext.h) -------------------------------------------
+#include "cublassim/cublas_ext.h"
+
+extern "C" {
+int cublassim_real_cublasIcamax(int n, const struct cuComplex* x, int incx);
+int cublassim_real_cublasIzamax(int n, const struct cuDoubleComplex* x, int incx);
+float cublassim_real_cublasScasum(int n, const struct cuComplex* x, int incx);
+double cublassim_real_cublasDzasum(int n, const struct cuDoubleComplex* x, int incx);
+float cublassim_real_cublasScnrm2(int n, const struct cuComplex* x, int incx);
+double cublassim_real_cublasDznrm2(int n, const struct cuDoubleComplex* x, int incx);
+void cublassim_real_cublasCaxpy(int n, struct cuComplex alpha, const struct cuComplex* x,
+                                int incx, struct cuComplex* y, int incy);
+void cublassim_real_cublasCcopy(int n, const struct cuComplex* x, int incx,
+                                struct cuComplex* y, int incy);
+void cublassim_real_cublasZcopy(int n, const struct cuDoubleComplex* x, int incx,
+                                struct cuDoubleComplex* y, int incy);
+void cublassim_real_cublasCswap(int n, struct cuComplex* x, int incx, struct cuComplex* y,
+                                int incy);
+void cublassim_real_cublasZswap(int n, struct cuDoubleComplex* x, int incx,
+                                struct cuDoubleComplex* y, int incy);
+void cublassim_real_cublasCscal(int n, struct cuComplex alpha, struct cuComplex* x,
+                                int incx);
+void cublassim_real_cublasCsscal(int n, float alpha, struct cuComplex* x, int incx);
+void cublassim_real_cublasZdscal(int n, double alpha, struct cuDoubleComplex* x, int incx);
+struct cuComplex cublassim_real_cublasCdotu(int n, const struct cuComplex* x, int incx,
+                                            const struct cuComplex* y, int incy);
+struct cuComplex cublassim_real_cublasCdotc(int n, const struct cuComplex* x, int incx,
+                                            const struct cuComplex* y, int incy);
+struct cuDoubleComplex cublassim_real_cublasZdotu(int n, const struct cuDoubleComplex* x,
+                                                  int incx,
+                                                  const struct cuDoubleComplex* y,
+                                                  int incy);
+struct cuDoubleComplex cublassim_real_cublasZdotc(int n, const struct cuDoubleComplex* x,
+                                                  int incx,
+                                                  const struct cuDoubleComplex* y,
+                                                  int incy);
+void cublassim_real_cublasCgemv(char trans, int m, int n, struct cuComplex alpha,
+                                const struct cuComplex* a, int lda,
+                                const struct cuComplex* x, int incx, struct cuComplex beta,
+                                struct cuComplex* y, int incy);
+void cublassim_real_cublasZgemv(char trans, int m, int n, struct cuDoubleComplex alpha,
+                                const struct cuDoubleComplex* a, int lda,
+                                const struct cuDoubleComplex* x, int incx,
+                                struct cuDoubleComplex beta, struct cuDoubleComplex* y,
+                                int incy);
+void cublassim_real_cublasSger(int m, int n, float alpha, const float* x, int incx,
+                               const float* y, int incy, float* a, int lda);
+void cublassim_real_cublasDger(int m, int n, double alpha, const double* x, int incx,
+                               const double* y, int incy, double* a, int lda);
+void cublassim_real_cublasSsyr(char uplo, int n, float alpha, const float* x, int incx,
+                               float* a, int lda);
+void cublassim_real_cublasDsyr(char uplo, int n, double alpha, const double* x, int incx,
+                               double* a, int lda);
+void cublassim_real_cublasStrmv(char uplo, char trans, char diag, int n, const float* a,
+                                int lda, float* x, int incx);
+void cublassim_real_cublasDtrmv(char uplo, char trans, char diag, int n, const double* a,
+                                int lda, double* x, int incx);
+void cublassim_real_cublasStrsv(char uplo, char trans, char diag, int n, const float* a,
+                                int lda, float* x, int incx);
+void cublassim_real_cublasDtrsv(char uplo, char trans, char diag, int n, const double* a,
+                                int lda, double* x, int incx);
+void cublassim_real_cublasSsyrk(char uplo, char trans, int n, int k, float alpha,
+                                const float* a, int lda, float beta, float* c, int ldc);
+void cublassim_real_cublasZsyrk(char uplo, char trans, int n, int k,
+                                struct cuDoubleComplex alpha,
+                                const struct cuDoubleComplex* a, int lda,
+                                struct cuDoubleComplex beta, struct cuDoubleComplex* c,
+                                int ldc);
+void cublassim_real_cublasSsymm(char side, char uplo, int m, int n, float alpha,
+                                const float* a, int lda, const float* b, int ldb,
+                                float beta, float* c, int ldc);
+void cublassim_real_cublasDsymm(char side, char uplo, int m, int n, double alpha,
+                                const double* a, int lda, const double* b, int ldb,
+                                double beta, double* c, int ldc);
+void cublassim_real_cublasCtrsm(char side, char uplo, char transa, char diag, int m,
+                                int n, struct cuComplex alpha, const struct cuComplex* a,
+                                int lda, struct cuComplex* b, int ldb);
+void cublassim_real_cublasZtrsm(char side, char uplo, char transa, char diag, int m,
+                                int n, struct cuDoubleComplex alpha,
+                                const struct cuDoubleComplex* a, int lda,
+                                struct cuDoubleComplex* b, int ldb);
+void cublassim_real_cublasStrmm(char side, char uplo, char transa, char diag, int m,
+                                int n, float alpha, const float* a, int lda, float* b,
+                                int ldb);
+void cublassim_real_cublasDtrmm(char side, char uplo, char transa, char diag, int m,
+                                int n, double alpha, const double* a, int lda, double* b,
+                                int ldb);
+}  // extern "C"

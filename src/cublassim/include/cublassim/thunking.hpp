@@ -1,0 +1,30 @@
+// Thunking CUBLAS wrappers (paper §IV-D).
+//
+// The thunking interface preserves host-side BLAS calling semantics: every
+// call allocates device storage, transfers the operands (cublasSetMatrix),
+// runs the device kernel, and transfers the result back (cublasGetMatrix) —
+// purely blocking, no overlap opportunity.  This is the variant PARATEC is
+// first linked against in the paper, and the transfer-dominated profile of
+// Fig. 10 (cublasSetMatrix/cublasGetMatrix ≫ zgemm kernel) emerges from
+// exactly this structure.  The *direct* interface is the plain CUBLAS API
+// in cublassim/cublas.h, where the application manages device memory.
+#pragma once
+
+#include <complex>
+
+namespace cublasthunk {
+
+/// C = alpha·op(A)·op(B) + beta·C with host pointers (column-major).
+void sgemm(char transa, char transb, int m, int n, int k, float alpha, const float* a,
+           int lda, const float* b, int ldb, float beta, float* c, int ldc);
+void dgemm(char transa, char transb, int m, int n, int k, double alpha, const double* a,
+           int lda, const double* b, int ldb, double beta, double* c, int ldc);
+void zgemm(char transa, char transb, int m, int n, int k, std::complex<double> alpha,
+           const std::complex<double>* a, int lda, const std::complex<double>* b, int ldb,
+           std::complex<double> beta, std::complex<double>* c, int ldc);
+
+/// op(A)·X = alpha·B (or right-side), host pointers; result overwrites B.
+void dtrsm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+           const double* a, int lda, double* b, int ldb);
+
+}  // namespace cublasthunk

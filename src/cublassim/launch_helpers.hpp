@@ -1,0 +1,67 @@
+// Internal helpers shared by the cublassim translation units (not
+// installed): per-thread library state, the named-kernel registry, and the
+// launch path that routes every BLAS routine through the public CUDA
+// launch ABI so interposition sees it.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <string>
+
+#include "cublassim/cublas.h"
+#include "cudasim/kernel.hpp"
+
+namespace cublassim_detail {
+
+using zc = std::complex<double>;
+using cc = std::complex<float>;
+
+inline zc to_std(cuDoubleComplex v) { return {v.x, v.y}; }
+inline cc to_std(cuComplex v) { return {v.x, v.y}; }
+inline cuDoubleComplex from_std(zc v) { return {v.real(), v.imag()}; }
+inline cuComplex from_std(cc v) { return {v.real(), v.imag()}; }
+
+/// Sticky per-thread status (cublasGetError semantics).
+cublasStatus set_status(cublasStatus s);
+cublasStatus take_status();
+
+/// Stream selected via cublasSetKernelStream.
+void set_kernel_stream(cudaStream_t stream);
+cudaStream_t kernel_stream();
+
+bool& initialized_flag();
+
+/// Named kernel definition with given efficiency/precision (registry is
+/// thread-local: cost fields are rewritten per launch).
+cusim::KernelDef& kernel(const std::string& name, double efficiency, bool dp);
+
+/// GEMM kernel-variant name, mirroring real CUBLAS naming ("nn"/"nt"/...).
+std::string gemm_kernel_name(const char* prefix, char ta, char tb);
+
+/// Launch a BLAS kernel: `flops` total real flops, `body` the data effect.
+/// Geometry models a 2-D tiling with 256-thread blocks.
+template <typename Body>
+void launch_blas_kernel(const std::string& name, double flops, double bytes, bool dp,
+                        double efficiency, Body&& body) {
+  cusim::KernelDef& def = kernel(name, efficiency, dp);
+  const double work_threads = std::max(1.0, flops / 64.0);  // ~64 flops per thread
+  const unsigned blocks =
+      static_cast<unsigned>(std::min(65535.0, std::max(1.0, work_threads / 256.0)));
+  def.cost.flops_per_thread = flops / (static_cast<double>(blocks) * 256.0);
+  def.cost.dram_bytes_per_thread = bytes / (static_cast<double>(blocks) * 256.0);
+  cusim::detail_set_pending_body(
+      [fn = std::forward<Body>(body)](const cusim::LaunchGeom&) { fn(); });
+  if (cudaConfigureCall(dim3(blocks), dim3(256), 0, kernel_stream()) != cudaSuccess ||
+      cudaLaunch(&def) != cudaSuccess) {
+    set_status(CUBLAS_STATUS_EXECUTION_FAILED);
+  }
+}
+
+template <typename T, typename Fn>
+void l1_kernel(const std::string& name, int n, double flops_per_elem, Fn&& fn) {
+  launch_blas_kernel(name, flops_per_elem * std::max(1, n),
+                     2.0 * sizeof(T) * std::max(1, n), sizeof(T) >= sizeof(double), 0.55,
+                     std::forward<Fn>(fn));
+}
+
+}  // namespace cublassim_detail

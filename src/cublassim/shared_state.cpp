@@ -1,0 +1,52 @@
+#include "launch_helpers.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace cublassim_detail {
+
+namespace {
+thread_local cublasStatus t_last_status = CUBLAS_STATUS_SUCCESS;
+thread_local cudaStream_t t_kernel_stream = nullptr;
+thread_local bool t_initialized = false;
+}  // namespace
+
+cublasStatus set_status(cublasStatus s) {
+  if (s != CUBLAS_STATUS_SUCCESS) t_last_status = s;
+  return s;
+}
+
+cublasStatus take_status() {
+  const cublasStatus s = t_last_status;
+  t_last_status = CUBLAS_STATUS_SUCCESS;
+  return s;
+}
+
+void set_kernel_stream(cudaStream_t stream) { t_kernel_stream = stream; }
+cudaStream_t kernel_stream() { return t_kernel_stream; }
+
+bool& initialized_flag() { return t_initialized; }
+
+cusim::KernelDef& kernel(const std::string& name, double efficiency, bool dp) {
+  static thread_local std::unordered_map<std::string, cusim::KernelDef> registry;
+  auto it = registry.find(name);
+  if (it == registry.end()) {
+    cusim::KernelDef def;
+    def.name = name;
+    def.cost.efficiency = efficiency;
+    def.cost.double_precision = dp;
+    it = registry.emplace(name, std::move(def)).first;
+  }
+  return it->second;
+}
+
+std::string gemm_kernel_name(const char* prefix, char ta, char tb) {
+  const auto low = [](char c) { return static_cast<char>(std::tolower(c)); };
+  std::string variant{low(ta), low(tb)};
+  if (variant == "nn") return std::string(prefix) + "_nn_e_kernel";
+  if (variant == "nt" || variant == "nc") return std::string(prefix) + "_nt_tex_kernel";
+  if (variant == "tn" || variant == "cn") return std::string(prefix) + "_tn_tex_kernel";
+  return std::string(prefix) + "_tt_kernel";
+}
+
+}  // namespace cublassim_detail

@@ -1,0 +1,102 @@
+#include "cublassim/thunking.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "cublassim/cublas.h"
+
+namespace cublasthunk {
+
+namespace {
+
+/// RAII device buffer for the duration of one thunked call.
+class DevBuf {
+ public:
+  DevBuf(int n, int elem_size) {
+    if (cublasAlloc(n, elem_size, &ptr_) != CUBLAS_STATUS_SUCCESS) {
+      throw std::runtime_error("cublasthunk: device allocation failed");
+    }
+  }
+  ~DevBuf() { cublasFree(ptr_); }
+  DevBuf(const DevBuf&) = delete;
+  DevBuf& operator=(const DevBuf&) = delete;
+  [[nodiscard]] void* get() const noexcept { return ptr_; }
+
+ private:
+  void* ptr_ = nullptr;
+};
+
+int op_rows(char trans, int m, int k) { return (trans == 'N' || trans == 'n') ? m : k; }
+int op_cols(char trans, int m, int k) { return (trans == 'N' || trans == 'n') ? k : m; }
+
+template <typename T, typename KernelFn>
+void thunk_gemm(char transa, char transb, int m, int n, int k, const T* a, int lda,
+                const T* b, int ldb, T* c, int ldc, KernelFn&& kernel_call) {
+  if (m == 0 || n == 0) return;
+  const int a_r = op_rows(transa, m, k);
+  const int a_c = op_cols(transa, m, k);
+  const int b_r = op_rows(transb, k, n);
+  const int b_c = op_cols(transb, k, n);
+  DevBuf da(a_r * a_c, sizeof(T));
+  DevBuf db(b_r * b_c, sizeof(T));
+  DevBuf dc(m * n, sizeof(T));
+  cublasSetMatrix(a_r, a_c, sizeof(T), a, lda, da.get(), a_r);
+  cublasSetMatrix(b_r, b_c, sizeof(T), b, ldb, db.get(), b_r);
+  cublasSetMatrix(m, n, sizeof(T), c, ldc, dc.get(), m);
+  kernel_call(static_cast<const T*>(da.get()), a_r, static_cast<const T*>(db.get()), b_r,
+              static_cast<T*>(dc.get()), m);
+  cublasGetMatrix(m, n, sizeof(T), dc.get(), m, c, ldc);
+}
+
+}  // namespace
+
+void sgemm(char transa, char transb, int m, int n, int k, float alpha, const float* a,
+           int lda, const float* b, int ldb, float beta, float* c, int ldc) {
+  thunk_gemm<float>(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                    [&](const float* da, int dlda, const float* db, int dldb, float* dc,
+                        int dldc) {
+                      cublasSgemm(transa, transb, m, n, k, alpha, da, dlda, db, dldb,
+                                  beta, dc, dldc);
+                    });
+}
+
+void dgemm(char transa, char transb, int m, int n, int k, double alpha, const double* a,
+           int lda, const double* b, int ldb, double beta, double* c, int ldc) {
+  thunk_gemm<double>(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                     [&](const double* da, int dlda, const double* db, int dldb,
+                         double* dc, int dldc) {
+                       cublasDgemm(transa, transb, m, n, k, alpha, da, dlda, db, dldb,
+                                   beta, dc, dldc);
+                     });
+}
+
+void zgemm(char transa, char transb, int m, int n, int k, std::complex<double> alpha,
+           const std::complex<double>* a, int lda, const std::complex<double>* b, int ldb,
+           std::complex<double> beta, std::complex<double>* c, int ldc) {
+  const cuDoubleComplex za{alpha.real(), alpha.imag()};
+  const cuDoubleComplex zb{beta.real(), beta.imag()};
+  using Z = std::complex<double>;
+  thunk_gemm<Z>(transa, transb, m, n, k, a, lda, b, ldb, c, ldc,
+                [&](const Z* da, int dlda, const Z* db, int dldb, Z* dc, int dldc) {
+                  cublasZgemm(transa, transb, m, n, k, za,
+                              reinterpret_cast<const cuDoubleComplex*>(da), dlda,
+                              reinterpret_cast<const cuDoubleComplex*>(db), dldb, zb,
+                              reinterpret_cast<cuDoubleComplex*>(dc), dldc);
+                });
+}
+
+void dtrsm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+           const double* a, int lda, double* b, int ldb) {
+  if (m == 0 || n == 0) return;
+  const int adim = (side == 'L' || side == 'l') ? m : n;
+  DevBuf da(adim * adim, sizeof(double));
+  DevBuf db(m * n, sizeof(double));
+  cublasSetMatrix(adim, adim, sizeof(double), a, lda, da.get(), adim);
+  cublasSetMatrix(m, n, sizeof(double), b, ldb, db.get(), m);
+  cublasDtrsm(side, uplo, transa, diag, m, n, alpha,
+              static_cast<const double*>(da.get()), adim, static_cast<double*>(db.get()),
+              m);
+  cublasGetMatrix(m, n, sizeof(double), db.get(), m, b, ldb);
+}
+
+}  // namespace cublasthunk

@@ -1,0 +1,186 @@
+// Internal engine of cudasim (not installed; implementation detail).
+//
+// Timing model
+// ------------
+// Each rank (simx::ExecContext) owns a virtual host clock.  Each simulated
+// device keeps, under a mutex, the completion times of its copy engines and
+// the per-context kernel-execution horizon.  Each CUDA context keeps its
+// streams; a stream is a `busy_until` horizon plus an index for
+// @CUDA_EXEC_STRMnn naming.  Enqueueing work computes a [start, end)
+// interval from the cost model and moves the horizons; synchronous calls
+// additionally advance the caller's host clock to the interval end — this
+// is precisely the "implicit host blocking" the paper measures (§III-C).
+//
+// Cross-context behaviour models Fermi: kernels from *different* contexts
+// never overlap (no MPS in 2010); kernels from the same context may overlap
+// across streams up to max_concurrent_kernels.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "simcommon/clock.hpp"
+
+// Opaque public handle types.
+struct CUstream_st {
+  std::uint64_t owner_ctx = 0;
+  int index = 0;           // 0 = default stream
+  double busy_until = 0.0; // completion time of all enqueued work
+  bool destroyed = false;
+};
+
+struct CUevent_st {
+  std::uint64_t owner_ctx = 0;
+  bool recorded = false;
+  bool timing = true;        // cudaEventDisableTiming clears this
+  double timestamp = 0.0;    // device-side completion time
+  bool destroyed = false;
+};
+
+struct CUctx_st {
+  std::uint64_t ctx_id = 0;  // driver-API context handle payload
+};
+
+namespace cusim {
+/// Defined in kernel.cpp: remembers KernelDef pointers for name lookup.
+void detail_note_kernel(const KernelDef* def);
+}  // namespace cusim
+
+namespace cusim::detail {
+
+/// Per-device shared state (one per physical simulated GPU).
+struct DeviceState {
+  std::mutex mu;
+  int node = 0;
+  int index = 0;
+  int global_id = 0;
+  std::uint64_t bytes_in_use = 0;
+  std::unordered_map<const void*, std::size_t> allocs;  // device ptr -> size
+  double engine_free_h2d = 0.0;
+  double engine_free_d2h = 0.0;
+  // Per-context kernel-execution horizon (for cross-context serialization)
+  // and recent kernel end-times (for the 16-kernel concurrency cap).
+  std::unordered_map<std::uint64_t, double> ctx_exec_end;
+  std::unordered_map<std::uint64_t, std::vector<double>> ctx_active_kernels;
+  DeviceCounters counters;
+};
+
+/// Per-rank CUDA context state (the "primary context" of a process).
+struct CudaContext {
+  std::uint64_t ctx_id = 0;
+  int node = 0;
+  int device_index = 0;        // cudaSetDevice selection within the node
+  bool initialized = false;    // first-call init cost charged?
+  cudaError_t last_error = cudaSuccess;
+  std::vector<std::unique_ptr<CUstream_st>> streams;  // [0] = default stream
+  std::deque<std::unique_ptr<CUevent_st>> events;
+  double legacy_fence = 0.0;   // NULL-stream serialization point
+
+  struct PendingLaunch {
+    bool configured = false;
+    LaunchGeom geom;
+    CUstream_st* stream = nullptr;
+    std::size_t args_bytes = 0;
+    int args_count = 0;
+  } pending;
+
+  CUstream_st* default_stream() { return streams[0].get(); }
+};
+
+/// Global simulator singleton.
+class Engine {
+ public:
+  static Engine& instance();
+
+  void configure(const Topology& topo);
+
+  // Context/ device resolution for the calling rank.
+  CudaContext& ctx();                       // creates on first use, charges init
+  CudaContext& ctx_no_init();               // creates but does not charge init
+  DeviceState& device_of(const CudaContext& c);
+
+  // --- core operations (all charge host time themselves) -------------------
+  cudaError_t malloc_dev(void** ptr, std::size_t size);
+  cudaError_t free_dev(void* ptr);
+  cudaError_t memcpy_op(void* dst, const void* src, std::size_t count,
+                        cudaMemcpyKind kind, CUstream_st* stream, bool sync,
+                        bool validate_dst_dev = true, bool validate_src_dev = true,
+                        bool copy_data = true);
+  cudaError_t memset_op(void* ptr, int value, std::size_t count);
+  cudaError_t launch(const KernelDef* def, const LaunchGeom& geom, CUstream_st* stream,
+                     std::function<void(const LaunchGeom&)> body);
+  cudaError_t stream_create(CUstream_st** out);
+  cudaError_t stream_destroy(CUstream_st* s);
+  cudaError_t stream_sync(CUstream_st* s);
+  cudaError_t stream_query(CUstream_st* s);
+  cudaError_t stream_wait_event(CUstream_st* s, CUevent_st* e);
+  cudaError_t event_create(CUevent_st** out, unsigned int flags);
+  cudaError_t event_record(CUevent_st* e, CUstream_st* s);
+  cudaError_t event_query(CUevent_st* e);
+  cudaError_t event_sync(CUevent_st* e);
+  cudaError_t event_elapsed(float* ms, CUevent_st* a, CUevent_st* b);
+  cudaError_t event_destroy(CUevent_st* e);
+  cudaError_t device_sync();
+
+  // Pending-launch staging (cudaConfigureCall / cudaSetupArgument ABI).
+  cudaError_t configure_call(const LaunchGeom& geom, CUstream_st* stream);
+  cudaError_t setup_argument(std::size_t size);
+
+  // Validation helper: is `p` a live device allocation covering count bytes?
+  bool dev_range_ok(DeviceState& dev, const void* p, std::size_t count);
+
+  /// Resolve a public stream handle (NULL -> the context default stream).
+  CUstream_st* resolve_stream(CudaContext& c, CUstream_st* handle);
+
+  /// Kernel duration from the analytic cost model (no noise applied).
+  double kernel_duration(const KernelDef& def, const LaunchGeom& geom) const;
+
+  // Control plane.
+  const Topology& topology() const { return topo_; }
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+  void set_execute_bodies(bool on) { execute_bodies_ = on; }
+  bool execute_bodies() const { return execute_bodies_; }
+  std::vector<ProfileRecord> profile_snapshot();
+  SimStats stats_snapshot();
+  std::uint64_t device_bytes(int node, int gpu);
+  DeviceCounters counters_snapshot(int node, int gpu);
+
+  cudaError_t set_error(cudaError_t e);  // records in ctx, returns e
+  cudaError_t last_error_clear();
+  cudaError_t last_error_peek();
+
+ private:
+  Engine() { configure(Topology{}); }
+
+  void charge_host(double dt);                  // rank clock + api accounting
+  double now() const;                           // caller rank virtual time
+  void ensure_init(CudaContext& c);             // first-call init cost
+  void record_profile(ProfileRecord rec);
+  DeviceState& device_at(int node, int index);
+
+  // Device-side enqueue helpers; device mutex must NOT be held by caller.
+  struct Interval {
+    double start, end;
+  };
+  Interval enqueue_stream_op(CudaContext& c, CUstream_st* s, double duration,
+                             bool is_kernel, bool uses_copy_engine, bool d2h);
+
+  mutable std::mutex mu_;  // protects contexts_/devices_ maps & profiler & stats
+  Topology topo_;
+  std::vector<std::unique_ptr<DeviceState>> devices_;  // node*gpus_per_node
+  std::unordered_map<std::uint64_t, std::unique_ptr<CudaContext>> contexts_;
+  std::vector<ProfileRecord> profile_;
+  SimStats stats_;
+  bool profiling_ = false;
+  bool execute_bodies_ = true;
+};
+
+}  // namespace cusim::detail

@@ -1,0 +1,98 @@
+// Kernel definition and launch helpers.
+//
+// cudasim has no device compiler, so a "kernel" is a KernelDef: a name, an
+// analytic cost descriptor, and an optional host functor that performs the
+// kernel's actual data effect on device memory (device memory lives in the
+// host heap).  The functor gives real, testable numerics; the descriptor
+// gives modelled, deterministic timing.
+//
+// cusim::launch<> reproduces the CUDA 3.1 execution-control ABI: it calls
+// cudaConfigureCall, one cudaSetupArgument per argument, and finally
+// cudaLaunch(&def) — exactly the sequence nvcc emits for <<<...>>>, and
+// therefore exactly what the IPM interposition layer observes (Fig. 4
+// shows the cudaConfigureCall/cudaSetupArgument/cudaLaunch triple).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cudasim/cuda_runtime.h"
+
+namespace cusim {
+
+/// Geometry of an in-flight launch, passed to the kernel body functor.
+struct LaunchGeom {
+  dim3 grid{1, 1, 1};
+  dim3 block{1, 1, 1};
+  std::size_t shared_mem = 0;
+
+  [[nodiscard]] unsigned long long blocks() const noexcept {
+    return static_cast<unsigned long long>(grid.x) * grid.y * grid.z;
+  }
+  [[nodiscard]] unsigned long long threads_per_block() const noexcept {
+    return static_cast<unsigned long long>(block.x) * block.y * block.z;
+  }
+  [[nodiscard]] unsigned long long total_threads() const noexcept {
+    return blocks() * threads_per_block();
+  }
+};
+
+/// Analytic cost model inputs for one kernel (roofline-style).
+struct KernelCost {
+  double flops_per_thread = 0.0;       ///< useful flops per CUDA thread.
+  double dram_bytes_per_thread = 0.0;  ///< DRAM traffic per CUDA thread.
+  double serial_iterations = 1.0;      ///< multiplies per-thread work.
+  double efficiency = 0.7;             ///< fraction of peak actually achieved.
+  double fixed_us = 0.0;               ///< constant device time per launch (µs).
+  bool double_precision = true;        ///< selects DP vs SP peak flops.
+};
+
+/// A registered kernel.  The address of a KernelDef is the launch handle
+/// (the `func` argument of cudaLaunch / CUfunction of cuLaunchKernel).
+struct KernelDef {
+  std::string name;
+  KernelCost cost;
+  /// Optional data effect, run at enqueue time on device memory.
+  std::function<void(const LaunchGeom&)> body;
+};
+
+/// Launch with explicit stream, binding `fn(geom, args...)` as the body
+/// effect for this invocation.  `def` must outlive the launch.
+template <typename Fn, typename... Args>
+cudaError_t launch_on(const KernelDef& def, dim3 grid, dim3 block, cudaStream_t stream,
+                      Fn&& fn, Args... args) {
+  if (const cudaError_t err = cudaConfigureCall(grid, block, 0, stream);
+      err != cudaSuccess) {
+    return err;
+  }
+  std::size_t offset = 0;
+  // Push raw argument bytes through the ABI so interposed profilers see the
+  // same cudaSetupArgument traffic a real compiled kernel produces.
+  (void)std::initializer_list<int>{
+      (cudaSetupArgument(&args, sizeof(Args), offset), offset += sizeof(Args), 0)...};
+  detail_set_pending_body(
+      [fn = std::forward<Fn>(fn), args...](const LaunchGeom& geom) { fn(geom, args...); });
+  return cudaLaunch(&def);
+}
+
+/// Launch on the default (NULL) stream.
+template <typename Fn, typename... Args>
+cudaError_t launch(const KernelDef& def, dim3 grid, dim3 block, Fn&& fn, Args... args) {
+  return launch_on(def, grid, block, nullptr, std::forward<Fn>(fn), args...);
+}
+
+/// Launch a kernel that has no data effect (timing-only workloads).
+cudaError_t launch_timed(const KernelDef& def, dim3 grid, dim3 block,
+                         cudaStream_t stream = nullptr);
+
+/// Name of the kernel behind a launch handle ("<unknown>" if the pointer is
+/// not a KernelDef the simulator has seen).  Used by the monitoring layer.
+[[nodiscard]] const char* kernel_name(const void* func) noexcept;
+
+/// Internal: stage the body closure for the next cudaLaunch on this thread.
+void detail_set_pending_body(std::function<void(const LaunchGeom&)> body);
+
+/// Internal: consume the staged closure (empty function if none staged).
+[[nodiscard]] std::function<void(const LaunchGeom&)> detail_take_pending_body();
+
+}  // namespace cusim

@@ -1,0 +1,112 @@
+// "Real" entry-point aliases.
+//
+// Every public CUDA symbol X in cudasim is a thin forwarder to
+// cudasim_real_X.  Interposition (GNU ld --wrap or LD_PRELOAD) captures X;
+// the monitoring layer's own probe calls (cudaStreamSynchronize for host-
+// idle detection, event bookkeeping for the kernel timing table) go through
+// cudasim_real_X and are therefore never self-monitored — the same reason
+// real IPM calls the dlsym'd function pointers directly inside wrappers.
+#pragma once
+
+#include "cudasim/cuda.h"
+#include "cudasim/cuda_runtime.h"
+
+extern "C" {
+
+// Runtime API ---------------------------------------------------------------
+cudaError_t cudasim_real_cudaGetDeviceCount(int* count);
+cudaError_t cudasim_real_cudaSetDevice(int device);
+cudaError_t cudasim_real_cudaGetDevice(int* device);
+cudaError_t cudasim_real_cudaGetDeviceProperties(struct cudaDeviceProp* prop, int device);
+cudaError_t cudasim_real_cudaSetDeviceFlags(unsigned int flags);
+cudaError_t cudasim_real_cudaDeviceSynchronize(void);
+cudaError_t cudasim_real_cudaThreadSynchronize(void);
+cudaError_t cudasim_real_cudaThreadExit(void);
+cudaError_t cudasim_real_cudaDeviceReset(void);
+cudaError_t cudasim_real_cudaMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes);
+cudaError_t cudasim_real_cudaDriverGetVersion(int* version);
+cudaError_t cudasim_real_cudaRuntimeGetVersion(int* version);
+cudaError_t cudasim_real_cudaGetLastError(void);
+cudaError_t cudasim_real_cudaPeekAtLastError(void);
+const char* cudasim_real_cudaGetErrorString(cudaError_t error);
+cudaError_t cudasim_real_cudaMalloc(void** devPtr, std::size_t size);
+cudaError_t cudasim_real_cudaFree(void* devPtr);
+cudaError_t cudasim_real_cudaMallocHost(void** ptr, std::size_t size);
+cudaError_t cudasim_real_cudaFreeHost(void* ptr);
+cudaError_t cudasim_real_cudaHostAlloc(void** ptr, std::size_t size, unsigned int flags);
+cudaError_t cudasim_real_cudaMallocPitch(void** devPtr, std::size_t* pitch,
+                                         std::size_t width, std::size_t height);
+cudaError_t cudasim_real_cudaMemcpy(void* dst, const void* src, std::size_t count,
+                                    enum cudaMemcpyKind kind);
+cudaError_t cudasim_real_cudaMemcpyAsync(void* dst, const void* src, std::size_t count,
+                                         enum cudaMemcpyKind kind, cudaStream_t stream);
+cudaError_t cudasim_real_cudaMemcpy2D(void* dst, std::size_t dpitch, const void* src,
+                                      std::size_t spitch, std::size_t width,
+                                      std::size_t height, enum cudaMemcpyKind kind);
+cudaError_t cudasim_real_cudaMemcpyToSymbol(const void* symbol, const void* src,
+                                            std::size_t count, std::size_t offset,
+                                            enum cudaMemcpyKind kind);
+cudaError_t cudasim_real_cudaMemcpyFromSymbol(void* dst, const void* symbol,
+                                              std::size_t count, std::size_t offset,
+                                              enum cudaMemcpyKind kind);
+cudaError_t cudasim_real_cudaMemset(void* devPtr, int value, std::size_t count);
+cudaError_t cudasim_real_cudaStreamCreate(cudaStream_t* stream);
+cudaError_t cudasim_real_cudaStreamDestroy(cudaStream_t stream);
+cudaError_t cudasim_real_cudaStreamSynchronize(cudaStream_t stream);
+cudaError_t cudasim_real_cudaStreamQuery(cudaStream_t stream);
+cudaError_t cudasim_real_cudaStreamWaitEvent(cudaStream_t stream, cudaEvent_t event,
+                                             unsigned int flags);
+cudaError_t cudasim_real_cudaEventCreate(cudaEvent_t* event);
+cudaError_t cudasim_real_cudaEventCreateWithFlags(cudaEvent_t* event, unsigned int flags);
+cudaError_t cudasim_real_cudaEventRecord(cudaEvent_t event, cudaStream_t stream);
+cudaError_t cudasim_real_cudaEventQuery(cudaEvent_t event);
+cudaError_t cudasim_real_cudaEventSynchronize(cudaEvent_t event);
+cudaError_t cudasim_real_cudaEventElapsedTime(float* ms, cudaEvent_t start, cudaEvent_t end);
+cudaError_t cudasim_real_cudaEventDestroy(cudaEvent_t event);
+cudaError_t cudasim_real_cudaConfigureCall(struct dim3 gridDim, struct dim3 blockDim,
+                                           std::size_t sharedMem, cudaStream_t stream);
+cudaError_t cudasim_real_cudaSetupArgument(const void* arg, std::size_t size,
+                                           std::size_t offset);
+cudaError_t cudasim_real_cudaLaunch(const void* func);
+cudaError_t cudasim_real_cudaFuncGetAttributes(struct cudaFuncAttributes* attr,
+                                               const void* func);
+
+// Driver API ----------------------------------------------------------------
+CUresult cudasim_real_cuInit(unsigned int flags);
+CUresult cudasim_real_cuDriverGetVersion(int* version);
+CUresult cudasim_real_cuDeviceGetCount(int* count);
+CUresult cudasim_real_cuDeviceGet(CUdevice* device, int ordinal);
+CUresult cudasim_real_cuDeviceGetName(char* name, int len, CUdevice dev);
+CUresult cudasim_real_cuDeviceTotalMem(std::size_t* bytes, CUdevice dev);
+CUresult cudasim_real_cuDeviceComputeCapability(int* major, int* minor, CUdevice dev);
+CUresult cudasim_real_cuCtxCreate(CUcontext* pctx, unsigned int flags, CUdevice dev);
+CUresult cudasim_real_cuCtxDestroy(CUcontext ctx);
+CUresult cudasim_real_cuCtxSynchronize(void);
+CUresult cudasim_real_cuMemAlloc(CUdeviceptr* dptr, std::size_t bytesize);
+CUresult cudasim_real_cuMemFree(CUdeviceptr dptr);
+CUresult cudasim_real_cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes);
+CUresult cudasim_real_cuMemcpyHtoD(CUdeviceptr dst, const void* src, std::size_t count);
+CUresult cudasim_real_cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t count);
+CUresult cudasim_real_cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, std::size_t count);
+CUresult cudasim_real_cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
+                                        std::size_t count, CUstream stream);
+CUresult cudasim_real_cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t count,
+                                        CUstream stream);
+CUresult cudasim_real_cuMemsetD8(CUdeviceptr dst, unsigned char value, std::size_t count);
+CUresult cudasim_real_cuStreamCreate(CUstream* stream, unsigned int flags);
+CUresult cudasim_real_cuStreamDestroy(CUstream stream);
+CUresult cudasim_real_cuStreamSynchronize(CUstream stream);
+CUresult cudasim_real_cuStreamQuery(CUstream stream);
+CUresult cudasim_real_cuEventCreate(CUevent* event, unsigned int flags);
+CUresult cudasim_real_cuEventRecord(CUevent event, CUstream stream);
+CUresult cudasim_real_cuEventQuery(CUevent event);
+CUresult cudasim_real_cuEventSynchronize(CUevent event);
+CUresult cudasim_real_cuEventElapsedTime(float* ms, CUevent start, CUevent end);
+CUresult cudasim_real_cuEventDestroy(CUevent event);
+CUresult cudasim_real_cuLaunchKernel(CUfunction f, unsigned int gridDimX,
+                                     unsigned int gridDimY, unsigned int gridDimZ,
+                                     unsigned int blockDimX, unsigned int blockDimY,
+                                     unsigned int blockDimZ, unsigned int sharedMemBytes,
+                                     CUstream stream, void** kernelParams, void** extra);
+
+}  // extern "C"

@@ -1,0 +1,47 @@
+#include "cudasim/kernel.hpp"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace cusim {
+
+namespace {
+thread_local std::function<void(const LaunchGeom&)> t_pending_body;
+
+std::mutex g_seen_mu;
+std::unordered_set<const KernelDef*> g_seen_kernels;
+}  // namespace
+
+void detail_set_pending_body(std::function<void(const LaunchGeom&)> body) {
+  t_pending_body = std::move(body);
+}
+
+std::function<void(const LaunchGeom&)> detail_take_pending_body() {
+  auto body = std::move(t_pending_body);
+  t_pending_body = nullptr;
+  return body;
+}
+
+void detail_note_kernel(const KernelDef* def) {
+  std::scoped_lock lk(g_seen_mu);
+  g_seen_kernels.insert(def);
+}
+
+const char* kernel_name(const void* func) noexcept {
+  const auto* def = static_cast<const KernelDef*>(func);
+  {
+    std::scoped_lock lk(g_seen_mu);
+    if (g_seen_kernels.count(def) == 0) return "<unknown>";
+  }
+  return def->name.c_str();
+}
+
+cudaError_t launch_timed(const KernelDef& def, dim3 grid, dim3 block, cudaStream_t stream) {
+  if (const cudaError_t err = cudaConfigureCall(grid, block, 0, stream);
+      err != cudaSuccess) {
+    return err;
+  }
+  return cudaLaunch(&def);
+}
+
+}  // namespace cusim

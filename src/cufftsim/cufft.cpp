@@ -1,0 +1,280 @@
+// cufftsim implementation: plans hold dims/type/batch; exec launches a
+// named radix kernel on cudasim whose body runs the real FFT from
+// fft_core.hpp.  R2C/C2R and D2Z/Z2D stage through a full complex array
+// (documented simplification: the half-spectrum packing of real transforms
+// is not modelled; callers receive the full spectrum in the first
+// floor(n/2)+1 bins along the innermost axis, which is what the mini-apps
+// consume).
+#include "cufftsim/cufft.h"
+
+#include <complex>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cudasim/kernel.hpp"
+#include "cufftsim/fft_core.hpp"
+#include "simcommon/str.hpp"
+
+namespace {
+
+struct Plan {
+  std::vector<int> dims;
+  cufftType type = CUFFT_C2C;
+  int batch = 1;
+  cudaStream_t stream = nullptr;
+
+  [[nodiscard]] long long points() const {
+    long long p = 1;
+    for (const int d : dims) p *= d;
+    return p;
+  }
+};
+
+std::mutex g_plans_mu;
+std::unordered_map<cufftHandle, Plan> g_plans;
+cufftHandle g_next_handle = 1;
+
+bool valid_dims(const std::vector<int>& dims) {
+  for (const int d : dims) {
+    if (d < 1) return false;
+  }
+  return !dims.empty();
+}
+
+cufftResult make_plan(cufftHandle* plan, std::vector<int> dims, cufftType type,
+                      int batch) {
+  if (plan == nullptr) return CUFFT_INVALID_VALUE;
+  if (!valid_dims(dims) || batch < 1) return CUFFT_INVALID_SIZE;
+  switch (type) {
+    case CUFFT_C2C: case CUFFT_R2C: case CUFFT_C2R:
+    case CUFFT_Z2Z: case CUFFT_D2Z: case CUFFT_Z2D: break;
+    default: return CUFFT_INVALID_TYPE;
+  }
+  std::scoped_lock lk(g_plans_mu);
+  const cufftHandle h = g_next_handle++;
+  g_plans.emplace(h, Plan{std::move(dims), type, batch, nullptr});
+  *plan = h;
+  return CUFFT_SUCCESS;
+}
+
+cufftResult with_plan(cufftHandle handle, Plan& out) {
+  std::scoped_lock lk(g_plans_mu);
+  const auto it = g_plans.find(handle);
+  if (it == g_plans.end()) return CUFFT_INVALID_PLAN;
+  out = it->second;
+  return CUFFT_SUCCESS;
+}
+
+/// Kernel-name of the transform, mimicking CUFFT's internal radix kernels.
+std::string kernel_name(const Plan& p, bool dp) {
+  return simx::strprintf("%sRadix%04dB::kernel%dD", dp ? "dp" : "sp",
+                         p.dims.back() >= 16 ? 16 : 2, static_cast<int>(p.dims.size()));
+}
+
+/// Launch the FFT as a device kernel: cost = 5·N·log2(N) flops per batch.
+template <typename Body>
+cufftResult launch_fft(const Plan& p, bool dp, Body&& body) {
+  static thread_local std::unordered_map<std::string, cusim::KernelDef> registry;
+  const std::string name = kernel_name(p, dp);
+  auto it = registry.find(name);
+  if (it == registry.end()) {
+    cusim::KernelDef def;
+    def.name = name;
+    def.cost.efficiency = 0.35;  // FFTs are memory-bound on Fermi
+    def.cost.double_precision = dp;
+    it = registry.emplace(name, std::move(def)).first;
+  }
+  cusim::KernelDef& def = it->second;
+  const double n = static_cast<double>(p.points());
+  const double flops = fftcore::fft_flops(n) * p.batch;
+  const double bytes = n * p.batch * (dp ? 16.0 : 8.0) * 2.0;
+  const unsigned blocks = static_cast<unsigned>(
+      std::min(65535.0, std::max(1.0, n * p.batch / 256.0)));
+  def.cost.flops_per_thread = flops / (static_cast<double>(blocks) * 256.0);
+  def.cost.dram_bytes_per_thread = bytes / (static_cast<double>(blocks) * 256.0);
+  cusim::detail_set_pending_body(
+      [fn = std::forward<Body>(body)](const cusim::LaunchGeom&) { fn(); });
+  if (cudaConfigureCall(dim3(blocks), dim3(256), 0, p.stream) != cudaSuccess ||
+      cudaLaunch(&def) != cudaSuccess) {
+    return CUFFT_EXEC_FAILED;
+  }
+  return CUFFT_SUCCESS;
+}
+
+template <typename T>
+cufftResult exec_c2c(const Plan& p, std::complex<T>* in, std::complex<T>* out,
+                     int direction) {
+  if (in == nullptr || out == nullptr) return CUFFT_INVALID_VALUE;
+  if (direction != CUFFT_FORWARD && direction != CUFFT_INVERSE) {
+    return CUFFT_INVALID_VALUE;
+  }
+  const Plan plan = p;
+  return launch_fft(plan, sizeof(T) == sizeof(double), [=] {
+    const long long points = plan.points();
+    for (int b = 0; b < plan.batch; ++b) {
+      std::complex<T>* dst = out + static_cast<long long>(b) * points;
+      if (dst != in + static_cast<long long>(b) * points) {
+        for (long long i = 0; i < points; ++i) {
+          dst[i] = in[static_cast<long long>(b) * points + i];
+        }
+      }
+      fftcore::fft_nd(dst, plan.dims.data(), static_cast<int>(plan.dims.size()),
+                      direction);
+    }
+  });
+}
+
+/// Real-to-complex / complex-to-real staging through a full complex grid.
+template <typename T>
+cufftResult exec_r2c(const Plan& p, const T* in, std::complex<T>* out) {
+  if (in == nullptr || out == nullptr) return CUFFT_INVALID_VALUE;
+  const Plan plan = p;
+  return launch_fft(plan, sizeof(T) == sizeof(double), [=] {
+    const long long points = plan.points();
+    for (int b = 0; b < plan.batch; ++b) {
+      std::complex<T>* dst = out + static_cast<long long>(b) * points;
+      for (long long i = 0; i < points; ++i) {
+        dst[i] = std::complex<T>(in[static_cast<long long>(b) * points + i], T{});
+      }
+      fftcore::fft_nd(dst, plan.dims.data(), static_cast<int>(plan.dims.size()),
+                      CUFFT_FORWARD);
+    }
+  });
+}
+
+template <typename T>
+cufftResult exec_c2r(const Plan& p, std::complex<T>* in, T* out) {
+  if (in == nullptr || out == nullptr) return CUFFT_INVALID_VALUE;
+  const Plan plan = p;
+  return launch_fft(plan, sizeof(T) == sizeof(double), [=] {
+    const long long points = plan.points();
+    std::vector<std::complex<T>> scratch(static_cast<std::size_t>(points));
+    for (int b = 0; b < plan.batch; ++b) {
+      for (long long i = 0; i < points; ++i) {
+        scratch[static_cast<std::size_t>(i)] = in[static_cast<long long>(b) * points + i];
+      }
+      fftcore::fft_nd(scratch.data(), plan.dims.data(),
+                      static_cast<int>(plan.dims.size()), CUFFT_INVERSE);
+      for (long long i = 0; i < points; ++i) {
+        out[static_cast<long long>(b) * points + i] =
+            scratch[static_cast<std::size_t>(i)].real();
+      }
+    }
+  });
+}
+
+}  // namespace
+
+extern "C" {
+
+cufftResult cufftPlan1d(cufftHandle* plan, int nx, cufftType type, int batch) {
+  return make_plan(plan, {nx}, type, batch);
+}
+
+cufftResult cufftPlan2d(cufftHandle* plan, int nx, int ny, cufftType type) {
+  return make_plan(plan, {nx, ny}, type, 1);
+}
+
+cufftResult cufftPlan3d(cufftHandle* plan, int nx, int ny, int nz, cufftType type) {
+  return make_plan(plan, {nx, ny, nz}, type, 1);
+}
+
+cufftResult cufftPlanMany(cufftHandle* plan, int rank, int* n, int*, int, int, int*, int,
+                          int, cufftType type, int batch) {
+  if (n == nullptr || rank < 1 || rank > 3) return CUFFT_INVALID_VALUE;
+  return make_plan(plan, std::vector<int>(n, n + rank), type, batch);
+}
+
+cufftResult cufftDestroy(cufftHandle plan) {
+  std::scoped_lock lk(g_plans_mu);
+  return g_plans.erase(plan) == 1 ? CUFFT_SUCCESS : CUFFT_INVALID_PLAN;
+}
+
+cufftResult cufftExecC2C(cufftHandle plan, cufftComplex* idata, cufftComplex* odata,
+                         int direction) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_C2C) return CUFFT_INVALID_TYPE;
+  return exec_c2c(p, reinterpret_cast<std::complex<float>*>(idata),
+                  reinterpret_cast<std::complex<float>*>(odata), direction);
+}
+
+cufftResult cufftExecR2C(cufftHandle plan, cufftReal* idata, cufftComplex* odata) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_R2C) return CUFFT_INVALID_TYPE;
+  return exec_r2c(p, idata, reinterpret_cast<std::complex<float>*>(odata));
+}
+
+cufftResult cufftExecC2R(cufftHandle plan, cufftComplex* idata, cufftReal* odata) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_C2R) return CUFFT_INVALID_TYPE;
+  return exec_c2r(p, reinterpret_cast<std::complex<float>*>(idata), odata);
+}
+
+cufftResult cufftExecZ2Z(cufftHandle plan, cufftDoubleComplex* idata,
+                         cufftDoubleComplex* odata, int direction) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_Z2Z) return CUFFT_INVALID_TYPE;
+  return exec_c2c(p, reinterpret_cast<std::complex<double>*>(idata),
+                  reinterpret_cast<std::complex<double>*>(odata), direction);
+}
+
+cufftResult cufftExecD2Z(cufftHandle plan, cufftDoubleReal* idata,
+                         cufftDoubleComplex* odata) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_D2Z) return CUFFT_INVALID_TYPE;
+  return exec_r2c(p, idata, reinterpret_cast<std::complex<double>*>(odata));
+}
+
+cufftResult cufftExecZ2D(cufftHandle plan, cufftDoubleComplex* idata,
+                         cufftDoubleReal* odata) {
+  Plan p;
+  if (const cufftResult r = with_plan(plan, p); r != CUFFT_SUCCESS) return r;
+  if (p.type != CUFFT_Z2D) return CUFFT_INVALID_TYPE;
+  return exec_c2r(p, reinterpret_cast<std::complex<double>*>(idata), odata);
+}
+
+cufftResult cufftSetStream(cufftHandle plan, cudaStream_t stream) {
+  std::scoped_lock lk(g_plans_mu);
+  const auto it = g_plans.find(plan);
+  if (it == g_plans.end()) return CUFFT_INVALID_PLAN;
+  it->second.stream = stream;
+  return CUFFT_SUCCESS;
+}
+
+cufftResult cufftGetVersion(int* version) {
+  if (version == nullptr) return CUFFT_INVALID_VALUE;
+  *version = 3010;
+  return CUFFT_SUCCESS;
+}
+
+// cufftsim_real_* aliases (interposition pattern, see cudasim/real.h).
+#define CUFFTSIM_ALIAS(ret, name, params) \
+  extern "C" ret cufftsim_real_##name params __attribute__((alias(#name)))
+
+CUFFTSIM_ALIAS(cufftResult, cufftPlan1d, (cufftHandle*, int, cufftType, int));
+CUFFTSIM_ALIAS(cufftResult, cufftPlan2d, (cufftHandle*, int, int, cufftType));
+CUFFTSIM_ALIAS(cufftResult, cufftPlan3d, (cufftHandle*, int, int, int, cufftType));
+CUFFTSIM_ALIAS(cufftResult, cufftPlanMany,
+               (cufftHandle*, int, int*, int*, int, int, int*, int, int, cufftType, int));
+CUFFTSIM_ALIAS(cufftResult, cufftDestroy, (cufftHandle));
+CUFFTSIM_ALIAS(cufftResult, cufftExecC2C,
+               (cufftHandle, cufftComplex*, cufftComplex*, int));
+CUFFTSIM_ALIAS(cufftResult, cufftExecR2C, (cufftHandle, cufftReal*, cufftComplex*));
+CUFFTSIM_ALIAS(cufftResult, cufftExecC2R, (cufftHandle, cufftComplex*, cufftReal*));
+CUFFTSIM_ALIAS(cufftResult, cufftExecZ2Z,
+               (cufftHandle, cufftDoubleComplex*, cufftDoubleComplex*, int));
+CUFFTSIM_ALIAS(cufftResult, cufftExecD2Z,
+               (cufftHandle, cufftDoubleReal*, cufftDoubleComplex*));
+CUFFTSIM_ALIAS(cufftResult, cufftExecZ2D,
+               (cufftHandle, cufftDoubleComplex*, cufftDoubleReal*));
+CUFFTSIM_ALIAS(cufftResult, cufftSetStream, (cufftHandle, cudaStream_t));
+CUFFTSIM_ALIAS(cufftResult, cufftGetVersion, (int*));
+
+}  // extern "C"

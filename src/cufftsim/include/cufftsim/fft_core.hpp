@@ -1,0 +1,107 @@
+// FFT numerics used by cufftsim (and testable on their own).
+//
+// Iterative radix-2 Cooley-Tukey for power-of-two lengths, direct O(n²)
+// DFT otherwise (mini-app grids are powers of two; the fallback keeps
+// arbitrary sizes correct for tests).  Multi-dimensional transforms apply
+// the 1-D transform along each axis.  CUFFT convention: unnormalized in
+// both directions (inverse(forward(x)) == n·x).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace fftcore {
+
+/// True if n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_pow2(int n) noexcept { return n > 0 && (n & (n - 1)) == 0; }
+
+/// In-place 1-D transform of `n` elements with stride `stride`.
+/// sign = -1 forward, +1 inverse (unnormalized).
+template <typename T>
+void fft_1d(std::complex<T>* data, int n, int stride, int sign);
+
+/// In-place rank-dimensional transform of a dense row-major array with
+/// extents dims[0..rank-1] (dims[rank-1] is contiguous).
+template <typename T>
+void fft_nd(std::complex<T>* data, const int* dims, int rank, int sign);
+
+/// 5·n·log2(n) flop estimate used by the cost model (direct DFT sizes are
+/// charged as if a tuned mixed-radix implementation ran).
+[[nodiscard]] double fft_flops(double n);
+
+// Implementation --------------------------------------------------------------
+
+template <typename T>
+void fft_1d(std::complex<T>* data, int n, int stride, int sign) {
+  using C = std::complex<T>;
+  if (n <= 1) return;
+  const double two_pi_sign = sign * 6.283185307179586476925287;
+  if (!is_pow2(n)) {
+    // Direct DFT fallback.
+    std::vector<C> out(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      C acc{};
+      for (int j = 0; j < n; ++j) {
+        const double ang = two_pi_sign * k * j / n;
+        acc += data[static_cast<std::size_t>(j) * stride] *
+               C(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+      }
+      out[static_cast<std::size_t>(k)] = acc;
+    }
+    for (int k = 0; k < n; ++k) data[static_cast<std::size_t>(k) * stride] = out[static_cast<std::size_t>(k)];
+    return;
+  }
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[static_cast<std::size_t>(i) * stride],
+                data[static_cast<std::size_t>(j) * stride]);
+    }
+  }
+  // Butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = two_pi_sign / len;
+    const C wlen(static_cast<T>(std::cos(ang)), static_cast<T>(std::sin(ang)));
+    for (int i = 0; i < n; i += len) {
+      C w(1);
+      for (int j = 0; j < len / 2; ++j) {
+        C& lo = data[static_cast<std::size_t>(i + j) * stride];
+        C& hi = data[static_cast<std::size_t>(i + j + len / 2) * stride];
+        const C u = lo;
+        const C v = hi * w;
+        lo = u + v;
+        hi = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+template <typename T>
+void fft_nd(std::complex<T>* data, const int* dims, int rank, int sign) {
+  if (rank <= 0) return;
+  long long total = 1;
+  for (int d = 0; d < rank; ++d) total *= dims[d];
+  // For each axis, transform every 1-D line along that axis.
+  long long stride = 1;
+  for (int axis = rank - 1; axis >= 0; --axis) {
+    const int n = dims[axis];
+    const long long block = stride * n;
+    for (long long base = 0; base < total; base += block) {
+      for (long long off = 0; off < stride; ++off) {
+        fft_1d(data + base + off, n, static_cast<int>(stride), sign);
+      }
+    }
+    stride *= n;
+  }
+}
+
+inline double fft_flops(double n) {
+  if (n <= 1) return 0.0;
+  return 5.0 * n * std::log2(n);
+}
+
+}  // namespace fftcore

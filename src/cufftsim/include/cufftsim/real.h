@@ -1,0 +1,32 @@
+// "Real" aliases of the CUFFT entry points (interposition pattern; see
+// cudasim/real.h for the rationale).
+#pragma once
+
+#include "cufftsim/cufft.h"
+
+extern "C" {
+
+cufftResult cufftsim_real_cufftPlan1d(cufftHandle* plan, int nx, cufftType type, int batch);
+cufftResult cufftsim_real_cufftPlan2d(cufftHandle* plan, int nx, int ny, cufftType type);
+cufftResult cufftsim_real_cufftPlan3d(cufftHandle* plan, int nx, int ny, int nz,
+                                      cufftType type);
+cufftResult cufftsim_real_cufftPlanMany(cufftHandle* plan, int rank, int* n, int* inembed,
+                                        int istride, int idist, int* onembed, int ostride,
+                                        int odist, cufftType type, int batch);
+cufftResult cufftsim_real_cufftDestroy(cufftHandle plan);
+cufftResult cufftsim_real_cufftExecC2C(cufftHandle plan, struct cufftComplex* idata,
+                                       struct cufftComplex* odata, int direction);
+cufftResult cufftsim_real_cufftExecR2C(cufftHandle plan, cufftReal* idata,
+                                       struct cufftComplex* odata);
+cufftResult cufftsim_real_cufftExecC2R(cufftHandle plan, struct cufftComplex* idata,
+                                       cufftReal* odata);
+cufftResult cufftsim_real_cufftExecZ2Z(cufftHandle plan, struct cufftDoubleComplex* idata,
+                                       struct cufftDoubleComplex* odata, int direction);
+cufftResult cufftsim_real_cufftExecD2Z(cufftHandle plan, cufftDoubleReal* idata,
+                                       struct cufftDoubleComplex* odata);
+cufftResult cufftsim_real_cufftExecZ2D(cufftHandle plan, struct cufftDoubleComplex* idata,
+                                       cufftDoubleReal* odata);
+cufftResult cufftsim_real_cufftSetStream(cufftHandle plan, cudaStream_t stream);
+cufftResult cufftsim_real_cufftGetVersion(int* version);
+
+}  // extern "C"

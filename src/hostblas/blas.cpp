@@ -1,0 +1,91 @@
+#include "hostblas/blas.hpp"
+
+#include "simcommon/clock.hpp"
+
+namespace hostblas {
+
+namespace {
+
+/// Charge the calling rank for `flops` at the model's achieved rate.
+void charge(double flops, bool dp, bool level3) {
+  const CpuModel& m = cpu_model();
+  const double peak = dp ? m.peak_dp_flops : m.peak_sp_flops;
+  const double eff = level3 ? m.efficiency_l3 : m.efficiency_l1;
+  simx::current_context().charge(m.call_overhead + flops / (peak * eff));
+}
+
+}  // namespace
+
+CpuModel& cpu_model() noexcept {
+  static CpuModel model;
+  return model;
+}
+
+void dgemm(char transa, char transb, int m, int n, int k, double alpha, const double* a,
+           int lda, const double* b, int ldb, double beta, double* c, int ldc) {
+  if (cpu_model().execute_numerics) refblas::gemm(refblas::trans_of(transa), refblas::trans_of(transb), m, n, k, alpha, a,
+                lda, b, ldb, beta, c, ldc);
+  charge(refblas::gemm_flops<double>(m, n, k), true, true);
+}
+
+void dtrsm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+           const double* a, int lda, double* b, int ldb) {
+  if (cpu_model().execute_numerics) refblas::trsm(side, uplo, transa, diag, m, n, alpha, a, lda, b, ldb);
+  charge(refblas::trsm_flops<double>(side, m, n), true, true);
+}
+
+void dgemv(char trans, int m, int n, double alpha, const double* a, int lda,
+           const double* x, int incx, double beta, double* y, int incy) {
+  refblas::gemv(refblas::trans_of(trans), m, n, alpha, a, lda, x, incx, beta, y, incy);
+  charge(2.0 * m * n, true, false);
+}
+
+void daxpy(int n, double alpha, const double* x, int incx, double* y, int incy) {
+  refblas::axpy(n, alpha, x, incx, y, incy);
+  charge(2.0 * n, true, false);
+}
+
+void dscal(int n, double alpha, double* x, int incx) {
+  refblas::scal(n, alpha, x, incx);
+  charge(static_cast<double>(n), true, false);
+}
+
+double ddot(int n, const double* x, int incx, const double* y, int incy) {
+  const double r = refblas::dot(n, x, incx, y, incy);
+  charge(2.0 * n, true, false);
+  return r;
+}
+
+double dnrm2(int n, const double* x, int incx) {
+  const double r = refblas::nrm2(n, x, incx);
+  charge(2.0 * n, true, false);
+  return r;
+}
+
+int idamax(int n, const double* x, int incx) {
+  const int r = refblas::amax(n, x, incx);
+  charge(static_cast<double>(n), true, false);
+  return r;
+}
+
+void zgemm(char transa, char transb, int m, int n, int k, zcomplex alpha,
+           const zcomplex* a, int lda, const zcomplex* b, int ldb, zcomplex beta,
+           zcomplex* c, int ldc) {
+  if (cpu_model().execute_numerics) refblas::gemm(refblas::trans_of(transa), refblas::trans_of(transb), m, n, k, alpha, a,
+                lda, b, ldb, beta, c, ldc);
+  charge(refblas::gemm_flops<zcomplex>(m, n, k), true, true);
+}
+
+void zaxpy(int n, zcomplex alpha, const zcomplex* x, int incx, zcomplex* y, int incy) {
+  refblas::axpy(n, alpha, x, incx, y, incy);
+  charge(8.0 * n, true, false);
+}
+
+void sgemm(char transa, char transb, int m, int n, int k, float alpha, const float* a,
+           int lda, const float* b, int ldb, float beta, float* c, int ldc) {
+  if (cpu_model().execute_numerics) refblas::gemm(refblas::trans_of(transa), refblas::trans_of(transb), m, n, k, alpha, a,
+                lda, b, ldb, beta, c, ldc);
+  charge(refblas::gemm_flops<float>(m, n, k), false, true);
+}
+
+}  // namespace hostblas

@@ -1,0 +1,51 @@
+// hostblas: the "MKL-like" sequential CPU BLAS baseline (paper §IV-D links
+// PARATEC against MKL BLAS before switching to CUBLAS).  Real numerics via
+// refblas; time charged from a Nehalem-class single-core cost model.
+#pragma once
+
+#include <complex>
+
+#include "hostblas/ref.hpp"
+
+namespace hostblas {
+
+/// Cost model of one Xeon 5530 (Nehalem) core running a tuned BLAS.
+struct CpuModel {
+  double peak_dp_flops = 9.6e9;  ///< 2.4 GHz x 4 DP flops/cycle (SSE FMA-less)
+  double peak_sp_flops = 19.2e9;
+  double efficiency_l3 = 0.85;  ///< achieved fraction for GEMM-like kernels
+  double efficiency_l1 = 0.25;  ///< memory-bound L1 routines
+  double call_overhead = 0.4e-6;
+  /// When false, routines charge virtual time but skip the real arithmetic
+  /// (cluster-scale experiments; mirrors cusim::set_execute_bodies).
+  bool execute_numerics = true;
+};
+
+/// Process-wide model used by all hostblas calls (configurable for tests).
+[[nodiscard]] CpuModel& cpu_model() noexcept;
+
+// Double precision -----------------------------------------------------------
+void dgemm(char transa, char transb, int m, int n, int k, double alpha, const double* a,
+           int lda, const double* b, int ldb, double beta, double* c, int ldc);
+void dtrsm(char side, char uplo, char transa, char diag, int m, int n, double alpha,
+           const double* a, int lda, double* b, int ldb);
+void dgemv(char trans, int m, int n, double alpha, const double* a, int lda,
+           const double* x, int incx, double beta, double* y, int incy);
+void daxpy(int n, double alpha, const double* x, int incx, double* y, int incy);
+void dscal(int n, double alpha, double* x, int incx);
+double ddot(int n, const double* x, int incx, const double* y, int incy);
+double dnrm2(int n, const double* x, int incx);
+int idamax(int n, const double* x, int incx);
+
+// Double complex (PARATEC's workhorse is zgemm) -------------------------------
+using zcomplex = std::complex<double>;
+void zgemm(char transa, char transb, int m, int n, int k, zcomplex alpha,
+           const zcomplex* a, int lda, const zcomplex* b, int ldb, zcomplex beta,
+           zcomplex* c, int ldc);
+void zaxpy(int n, zcomplex alpha, const zcomplex* x, int incx, zcomplex* y, int incy);
+
+// Single precision ------------------------------------------------------------
+void sgemm(char transa, char transb, int m, int n, int k, float alpha, const float* a,
+           int lda, const float* b, int ldb, float beta, float* c, int ldc);
+
+}  // namespace hostblas

@@ -1,0 +1,382 @@
+// Reference BLAS kernels (column-major, leading-dimension aware).
+//
+// Shared by hostblas (the "MKL-like" CPU baseline) and cublassim (the
+// device-side math behind the CUBLAS API): both libraries charge time from
+// their own cost models but compute identical, testable results with these
+// routines.  Naive algorithms on purpose — the simulation's performance
+// story comes from the cost models, and problem sizes stay modest.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace refblas {
+
+/// Transpose op parsed from the BLAS character convention.
+enum class Trans { kN, kT, kC };
+
+inline Trans trans_of(char c) {
+  switch (c) {
+    case 'n': case 'N': return Trans::kN;
+    case 't': case 'T': return Trans::kT;
+    case 'c': case 'C': return Trans::kC;
+    default: throw std::invalid_argument(std::string("bad BLAS trans char '") + c + "'");
+  }
+}
+
+template <typename T>
+T conj_if(T v, bool do_conj) {
+  if constexpr (std::is_same_v<T, std::complex<float>> ||
+                std::is_same_v<T, std::complex<double>>) {
+    return do_conj ? std::conj(v) : v;
+  } else {
+    (void)do_conj;
+    return v;
+  }
+}
+
+/// Element of op(A) at (i, j) where A is column-major with leading dim lda.
+template <typename T>
+T opa(const T* a, int lda, Trans t, int i, int j) {
+  switch (t) {
+    case Trans::kN: return a[i + static_cast<std::size_t>(j) * lda];
+    case Trans::kT: return a[j + static_cast<std::size_t>(i) * lda];
+    default: return conj_if(a[j + static_cast<std::size_t>(i) * lda], true);
+  }
+}
+
+/// C(m×n) = alpha·op(A)(m×k)·op(B)(k×n) + beta·C.
+template <typename T>
+void gemm(Trans ta, Trans tb, int m, int n, int k, T alpha, const T* a, int lda,
+          const T* b, int ldb, T beta, T* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T acc{};
+      for (int p = 0; p < k; ++p) acc += opa(a, lda, ta, i, p) * opa(b, ldb, tb, p, j);
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = alpha * acc + beta * cij;
+    }
+  }
+}
+
+/// y = alpha·op(A)·x + beta·y.
+template <typename T>
+void gemv(Trans ta, int m, int n, T alpha, const T* a, int lda, const T* x, int incx,
+          T beta, T* y, int incy) {
+  const int rows = ta == Trans::kN ? m : n;
+  const int cols = ta == Trans::kN ? n : m;
+  for (int i = 0; i < rows; ++i) {
+    T acc{};
+    for (int j = 0; j < cols; ++j) {
+      acc += opa(a, lda, ta, i, j) * x[static_cast<std::size_t>(j) * incx];
+    }
+    T& yi = y[static_cast<std::size_t>(i) * incy];
+    yi = alpha * acc + beta * yi;
+  }
+}
+
+/// Solve op(A)·X = alpha·B (side='L') or X·op(A) = alpha·B (side='R'),
+/// A triangular (uplo 'U'/'L'), overwriting B with X.  unit: 'U'/'N'.
+template <typename T>
+void trsm(char side, char uplo, char transa, char diag, int m, int n, T alpha, const T* a,
+          int lda, T* b, int ldb) {
+  const bool left = side == 'L' || side == 'l';
+  const bool upper = uplo == 'U' || uplo == 'u';
+  const bool unit = diag == 'U' || diag == 'u';
+  const Trans ta = trans_of(transa);
+  // Scale B by alpha first.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) b[i + static_cast<std::size_t>(j) * ldb] *= alpha;
+  }
+  // Effective triangle orientation of op(A).
+  const bool eff_upper = (ta == Trans::kN) ? upper : !upper;
+  const int dim = left ? m : n;
+  auto aij = [&](int i, int j) { return opa(a, lda, ta, i, j); };
+  if (left) {
+    // Solve op(A) X = B column by column.
+    for (int col = 0; col < n; ++col) {
+      T* x = b + static_cast<std::size_t>(col) * ldb;
+      if (eff_upper) {
+        for (int i = dim - 1; i >= 0; --i) {
+          T acc = x[i];
+          for (int p = i + 1; p < dim; ++p) acc -= aij(i, p) * x[p];
+          x[i] = unit ? acc : acc / aij(i, i);
+        }
+      } else {
+        for (int i = 0; i < dim; ++i) {
+          T acc = x[i];
+          for (int p = 0; p < i; ++p) acc -= aij(i, p) * x[p];
+          x[i] = unit ? acc : acc / aij(i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B row by row.
+    for (int row = 0; row < m; ++row) {
+      if (eff_upper) {
+        for (int j = 0; j < dim; ++j) {
+          T acc = b[row + static_cast<std::size_t>(j) * ldb];
+          for (int p = 0; p < j; ++p) {
+            acc -= b[row + static_cast<std::size_t>(p) * ldb] * aij(p, j);
+          }
+          b[row + static_cast<std::size_t>(j) * ldb] = unit ? acc : acc / aij(j, j);
+        }
+      } else {
+        for (int j = dim - 1; j >= 0; --j) {
+          T acc = b[row + static_cast<std::size_t>(j) * ldb];
+          for (int p = j + 1; p < dim; ++p) {
+            acc -= b[row + static_cast<std::size_t>(p) * ldb] * aij(p, j);
+          }
+          b[row + static_cast<std::size_t>(j) * ldb] = unit ? acc : acc / aij(j, j);
+        }
+      }
+    }
+  }
+}
+
+/// C = alpha·A·Aᵀ + beta·C (trans='N') or alpha·Aᵀ·A + beta·C, C n×n
+/// (uplo selects the updated triangle; we update the full matrix and keep
+/// it symmetric, which is what the consuming mini-apps need).
+template <typename T>
+void syrk(char /*uplo*/, char trans, int n, int k, T alpha, const T* a, int lda, T beta,
+          T* c, int ldc) {
+  const Trans ta = trans_of(trans);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      T acc{};
+      for (int p = 0; p < k; ++p) {
+        acc += opa(a, lda, ta, i, p) * opa(a, lda, ta, j, p);
+      }
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = alpha * acc + beta * cij;
+    }
+  }
+}
+
+/// Rank-1 update A += alpha·x·yᵀ (ger) or alpha·x·conj(y)ᵀ (gerc).
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy, T* a,
+         int lda, bool conj_y = false) {
+  for (int j = 0; j < n; ++j) {
+    const T yj = conj_if(y[static_cast<std::size_t>(j) * incy], conj_y);
+    for (int i = 0; i < m; ++i) {
+      a[i + static_cast<std::size_t>(j) * lda] +=
+          alpha * x[static_cast<std::size_t>(i) * incx] * yj;
+    }
+  }
+}
+
+/// Symmetric rank-1 update A += alpha·x·xᵀ (full matrix kept symmetric).
+template <typename T>
+void syr(char /*uplo*/, int n, T alpha, const T* x, int incx, T* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      a[i + static_cast<std::size_t>(j) * lda] += alpha *
+                                                  x[static_cast<std::size_t>(i) * incx] *
+                                                  x[static_cast<std::size_t>(j) * incx];
+    }
+  }
+}
+
+/// x = op(A)·x with A triangular (trmv).
+template <typename T>
+void trmv(char uplo, char trans, char diag, int n, const T* a, int lda, T* x, int incx) {
+  const Trans ta = trans_of(trans);
+  const bool upper = uplo == 'U' || uplo == 'u';
+  const bool unit = diag == 'U' || diag == 'u';
+  const bool eff_upper = (ta == Trans::kN) ? upper : !upper;
+  std::vector<T> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    T acc{};
+    const int lo = eff_upper ? i : 0;
+    const int hi = eff_upper ? n : i + 1;
+    for (int j = lo; j < hi; ++j) {
+      T aij = opa(a, lda, ta, i, j);
+      if (unit && i == j) aij = T(1);
+      acc += aij * x[static_cast<std::size_t>(j) * incx];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i) * incx] = out[static_cast<std::size_t>(i)];
+}
+
+/// Solve op(A)·x = b in place (trsv), A triangular.
+template <typename T>
+void trsv(char uplo, char trans, char diag, int n, const T* a, int lda, T* x, int incx) {
+  // Delegate to the one-column trsm with a compacted vector.
+  std::vector<T> col(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i) * incx];
+  trsm('L', uplo, trans, diag, n, 1, T(1), a, lda, col.data(), n);
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i) * incx] = col[static_cast<std::size_t>(i)];
+}
+
+/// C = alpha·A·B + beta·C with A symmetric (side 'L') or C = alpha·B·A+...
+/// (side 'R').  A is used as a full symmetric matrix.
+template <typename T>
+void symm(char side, char /*uplo*/, int m, int n, T alpha, const T* a, int lda,
+          const T* b, int ldb, T beta, T* c, int ldc) {
+  const bool left = side == 'L' || side == 'l';
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T acc{};
+      if (left) {
+        for (int p = 0; p < m; ++p) {
+          acc += a[i + static_cast<std::size_t>(p) * lda] *
+                 b[p + static_cast<std::size_t>(j) * ldb];
+        }
+      } else {
+        for (int p = 0; p < n; ++p) {
+          acc += b[i + static_cast<std::size_t>(p) * ldb] *
+                 a[p + static_cast<std::size_t>(j) * lda];
+        }
+      }
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = alpha * acc + beta * cij;
+    }
+  }
+}
+
+/// B = alpha·op(A)·B (side 'L') or alpha·B·op(A) (side 'R'), A triangular.
+template <typename T>
+void trmm(char side, char uplo, char transa, char diag, int m, int n, T alpha,
+          const T* a, int lda, T* b, int ldb) {
+  const bool left = side == 'L' || side == 'l';
+  const Trans ta = trans_of(transa);
+  const bool upper = uplo == 'U' || uplo == 'u';
+  const bool unit = diag == 'U' || diag == 'u';
+  const bool eff_upper = (ta == Trans::kN) ? upper : !upper;
+  auto aij = [&](int i, int j) -> T {
+    if (unit && i == j) return T(1);
+    const bool in_tri = eff_upper ? (i <= j) : (i >= j);
+    return in_tri ? opa(a, lda, ta, i, j) : T{};
+  };
+  if (left) {
+    for (int j = 0; j < n; ++j) {
+      std::vector<T> col(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        T acc{};
+        for (int p = 0; p < m; ++p) acc += aij(i, p) * b[p + static_cast<std::size_t>(j) * ldb];
+        col[static_cast<std::size_t>(i)] = alpha * acc;
+      }
+      for (int i = 0; i < m; ++i) b[i + static_cast<std::size_t>(j) * ldb] = col[static_cast<std::size_t>(i)];
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      std::vector<T> row(static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) {
+        T acc{};
+        for (int p = 0; p < n; ++p) acc += b[i + static_cast<std::size_t>(p) * ldb] * aij(p, j);
+        row[static_cast<std::size_t>(j)] = alpha * acc;
+      }
+      for (int j = 0; j < n; ++j) b[i + static_cast<std::size_t>(j) * ldb] = row[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+template <typename T>
+void axpy(int n, T alpha, const T* x, int incx, T* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i) * incy] += alpha * x[static_cast<std::size_t>(i) * incx];
+  }
+}
+
+template <typename T>
+void scal(int n, T alpha, T* x, int incx) {
+  for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i) * incx] *= alpha;
+}
+
+template <typename T>
+void copy(int n, const T* x, int incx, T* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i) * incy] = x[static_cast<std::size_t>(i) * incx];
+  }
+}
+
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    std::swap(x[static_cast<std::size_t>(i) * incx], y[static_cast<std::size_t>(i) * incy]);
+  }
+}
+
+template <typename T>
+T dot(int n, const T* x, int incx, const T* y, int incy) {
+  T acc{};
+  for (int i = 0; i < n; ++i) {
+    acc += x[static_cast<std::size_t>(i) * incx] * y[static_cast<std::size_t>(i) * incy];
+  }
+  return acc;
+}
+
+/// Conjugated dot product conj(x)·y (complex dotc; equals dot for reals).
+template <typename T>
+T dotc(int n, const T* x, int incx, const T* y, int incy) {
+  T acc{};
+  for (int i = 0; i < n; ++i) {
+    acc += conj_if(x[static_cast<std::size_t>(i) * incx], true) *
+           y[static_cast<std::size_t>(i) * incy];
+  }
+  return acc;
+}
+
+template <typename T>
+double nrm2(int n, const T* x, int incx) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::abs(x[static_cast<std::size_t>(i) * incx]);
+    acc += v * v;
+  }
+  return std::sqrt(acc);
+}
+
+template <typename T>
+double asum(int n, const T* x, int incx) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += std::abs(x[static_cast<std::size_t>(i) * incx]);
+  return acc;
+}
+
+/// 1-based index of the element with largest magnitude (BLAS convention).
+template <typename T>
+int amax(int n, const T* x, int incx) {
+  if (n < 1) return 0;
+  int best = 1;
+  double best_v = std::abs(x[0]);
+  for (int i = 1; i < n; ++i) {
+    const double v = std::abs(x[static_cast<std::size_t>(i) * incx]);
+    if (v > best_v) {
+      best_v = v;
+      best = i + 1;
+    }
+  }
+  return best;
+}
+
+/// Flop counts for the cost models (real flops; complex ops count 4x mul +
+/// 4x add per multiply-accumulate).
+template <typename T>
+constexpr double flop_scale() {
+  if constexpr (std::is_same_v<T, std::complex<float>> ||
+                std::is_same_v<T, std::complex<double>>) {
+    return 4.0;
+  } else {
+    return 1.0;
+  }
+}
+
+template <typename T>
+double gemm_flops(int m, int n, int k) {
+  return 2.0 * flop_scale<T>() * static_cast<double>(m) * n * k;
+}
+
+template <typename T>
+double trsm_flops(char side, int m, int n) {
+  const double dim = (side == 'L' || side == 'l') ? m : n;
+  const double other = (side == 'L' || side == 'l') ? n : m;
+  return flop_scale<T>() * dim * dim * other;
+}
+
+}  // namespace refblas

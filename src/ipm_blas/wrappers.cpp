@@ -1,0 +1,4 @@
+// Compiles the generated --wrap interposition wrappers for the accelerated
+// numerical libraries (CUBLAS + CUFFT), recording operand sizes.
+#include "generated/wrap_cublas.inc"
+#include "generated/wrap_cufft.inc"

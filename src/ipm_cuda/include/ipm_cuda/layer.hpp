@@ -1,0 +1,136 @@
+// CUDA monitoring layer (paper §III).
+//
+// The generated wrappers (see generated/*.inc, produced by wrapgen from the
+// API specs) are thin: each one interns its display name once and calls one
+// of the policy helpers below.  The helpers implement the paper's three
+// mechanisms:
+//
+//  * timed_call — the Fig. 2 anatomy: begin/end timers around the real call
+//    plus UPDATE_DATA into the hash table;
+//  * wrap_memcpy — direction tagging (D2H/H2D), implicit-host-blocking
+//    detection via a cudaStreamSynchronize probe (§III-C), and kernel-
+//    timing-table polling on device-to-host transfers (§III-B);
+//  * wrap_launch — kernel timing table insertion: bracket the launch with
+//    CUDA events, resolve durations later via cudaEventElapsedTime.
+//
+// All internal probe traffic uses cudasim_real_* entry points so the layer
+// never monitors itself.
+#pragma once
+
+#include <cstdint>
+
+#include "cudasim/cuda_runtime.h"
+#include "ipm/monitor.hpp"
+
+namespace ipm::cuda {
+
+/// Transfer direction used for display-name tagging.
+enum class Dir { kNone, kH2H, kH2D, kD2H, kD2D };
+
+/// Direction-tagged display names for one memcpy-like call, interned once
+/// per wrapper (static local in the generated code).
+struct DirNames {
+  NameId plain, h2h, h2d, d2h, d2d;
+};
+
+[[nodiscard]] DirNames make_dir_names(const char* base);
+[[nodiscard]] Dir dir_of(cudaMemcpyKind kind) noexcept;
+[[nodiscard]] NameId pick(const DirNames& names, Dir dir) noexcept;
+
+/// Statistics counters of the CUDA layer (for tests and ablations).
+struct LayerStats {
+  std::uint64_t ktt_inserts = 0;
+  std::uint64_t ktt_polls = 0;        ///< completion sweeps executed
+  std::uint64_t ktt_completed = 0;    ///< kernels whose timing got recorded
+  std::uint64_t ktt_slots_exhausted = 0;
+  std::uint64_t idle_probes = 0;
+  std::uint64_t idle_recorded = 0;
+};
+
+/// Per-rank layer state lives in Monitor::layer_data; these operate on the
+/// calling rank's monitor.
+void note_configured_stream(cudaStream_t stream);
+[[nodiscard]] cudaStream_t pending_stream();
+
+/// Poll the kernel timing table: query stop events, record completed
+/// kernels as @CUDA_EXEC pseudo-events, free their slots (§III-B).
+void ktt_poll(Monitor& mon);
+
+/// Finalize-time drain: synchronize on outstanding stop events so every
+/// launched kernel is accounted for (registered as a finalize hook).
+void ktt_drain(Monitor& mon);
+
+[[nodiscard]] LayerStats layer_stats(Monitor& mon);
+
+// --- wrapper policy helpers (called from generated code) --------------------
+
+namespace detail {
+void record(Monitor& mon, NameId name, double duration, std::uint64_t bytes,
+            std::int32_t select);
+void maybe_poll_on_call(Monitor& mon);
+void host_idle_probe(Monitor& mon, cudaStream_t stream);
+/// Claim a KTT slot and record the *start* event (before the launch).
+/// Returns the slot index or -1 (table exhausted / events unavailable).
+int ktt_begin(Monitor& mon, const void* func, cudaStream_t stream);
+/// Record the *stop* event after the launch, arming the slot for polling.
+void ktt_end(Monitor& mon, int slot);
+}  // namespace detail
+
+/// Fig. 2: time the real call and record it under `name`.
+template <typename Fn>
+auto timed_call(NameId name, std::uint64_t bytes, std::int32_t select, Fn&& fn) {
+  Monitor* mon = ipm::monitor();
+  if (mon == nullptr) return fn();
+  detail::maybe_poll_on_call(*mon);
+  const double begin = ipm::gettime();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    detail::record(*mon, name, ipm::gettime() - begin, bytes, select);
+  } else {
+    auto ret = fn();
+    detail::record(*mon, name, ipm::gettime() - begin, bytes, select);
+    return ret;
+  }
+}
+
+/// Memory-transfer wrapper: direction tagging + host-idle probe (sync ops
+/// only) + KTT poll on device-to-host transfers.
+template <typename Fn>
+auto wrap_memcpy(const DirNames& names, std::uint64_t bytes, Dir dir, bool sync,
+                 cudaStream_t stream, Fn&& fn) {
+  Monitor* mon = ipm::monitor();
+  if (mon == nullptr) return fn();
+  if (sync && mon->config().host_idle && (dir == Dir::kH2D || dir == Dir::kD2H ||
+                                          dir == Dir::kD2D)) {
+    detail::host_idle_probe(*mon, stream);
+  }
+  if (dir == Dir::kD2H && mon->config().kernel_timing &&
+      mon->config().ktt_policy == KttPolicy::kOnD2HTransfer) {
+    ktt_poll(*mon);
+  }
+  detail::maybe_poll_on_call(*mon);
+  const double begin = ipm::gettime();
+  auto ret = fn();
+  const double end = ipm::gettime();
+  detail::record(*mon, pick(names, dir), end - begin, bytes, 0);
+  return ret;
+}
+
+/// Kernel-launch wrapper: insert a KTT entry bracketing the launch with
+/// start/stop events, then time the (asynchronous) launch call itself.
+template <typename Fn>
+auto wrap_launch(NameId name, const void* func, cudaStream_t stream, Fn&& fn) {
+  Monitor* mon = ipm::monitor();
+  if (mon == nullptr) return fn();
+  detail::maybe_poll_on_call(*mon);
+  const bool time_kernel = mon->config().kernel_timing;
+  const double begin = ipm::gettime();
+  const int slot = time_kernel ? detail::ktt_begin(*mon, func, stream) : -1;
+  auto ret = fn();
+  if (slot >= 0) detail::ktt_end(*mon, slot);
+  const double end = ipm::gettime();
+  detail::record(*mon, name, end - begin, 0, 0);
+  return ret;
+}
+
+}  // namespace ipm::cuda

@@ -1,0 +1,4 @@
+// Compiles the generated --wrap interposition wrappers for the CUDA
+// runtime and driver APIs.  See src/wrapgen/specs/*.spec.
+#include "generated/wrap_cuda_runtime.inc"
+#include "generated/wrap_cuda_driver.inc"

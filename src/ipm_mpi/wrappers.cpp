@@ -1,0 +1,2 @@
+// Compiles the generated --wrap interposition wrappers for MPI.
+#include "generated/wrap_mpi.inc"

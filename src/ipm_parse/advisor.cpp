@@ -1,0 +1,167 @@
+#include "ipm_parse/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "simcommon/str.hpp"
+
+namespace ipm_parse {
+
+namespace {
+
+using simx::strprintf;
+
+struct JobView {
+  double wall_total = 0.0;   // sum over ranks
+  double gpu = 0.0;          // @CUDA_EXEC
+  double idle = 0.0;         // @CUDA_HOST_IDLE
+  double mpi = 0.0;
+  double sync = 0.0;         // *Synchronize host waits
+  double transfers = 0.0;    // cublasSet/GetMatrix + cudaMemcpy rows
+  double init = 0.0;         // first-call init carriers (cudaMalloc row 1 proxy)
+  std::map<std::string, double> mpi_by_routine;
+  std::map<std::string, std::vector<double>> kernel_by_rank;  // name -> per rank
+};
+
+JobView summarize(const ipm::JobProfile& job) {
+  JobView v;
+  for (std::size_t ri = 0; ri < job.ranks.size(); ++ri) {
+    const ipm::RankProfile& r = job.ranks[ri];
+    v.wall_total += r.wallclock();
+    v.gpu += r.time_in("GPU");
+    v.idle += r.time_in("IDLE");
+    v.mpi += r.time_in("MPI");
+    for (const ipm::EventRecord& e : r.events) {
+      if (e.name.starts_with("MPI_")) v.mpi_by_routine[e.name] += e.tsum;
+      if (e.name.find("Synchronize") != std::string::npos) v.sync += e.tsum;
+      if (e.name.starts_with("cublasSetMatrix") || e.name.starts_with("cublasGetMatrix") ||
+          e.name.starts_with("cublasSetVector") || e.name.starts_with("cublasGetVector") ||
+          e.name.starts_with("cudaMemcpy")) {
+        v.transfers += e.tsum;
+      }
+      if (e.name.starts_with("@CUDA_EXEC:")) {
+        auto& per_rank = v.kernel_by_rank[e.name.substr(11)];
+        per_rank.resize(job.ranks.size(), 0.0);
+        per_rank[ri] += e.tsum;
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kMissedOverlap: return "missed-overlap";
+    case FindingKind::kTransferBound: return "transfer-bound";
+    case FindingKind::kKernelImbalance: return "kernel-imbalance";
+    case FindingKind::kSyncBound: return "sync-bound";
+    case FindingKind::kCommBound: return "comm-bound";
+    case FindingKind::kLowGpuUtilization: return "low-gpu-utilization";
+    case FindingKind::kInitOverhead: return "init-overhead";
+  }
+  return "unknown";
+}
+
+std::vector<Finding> advise(const ipm::JobProfile& job, const AdvisorOptions& opts) {
+  std::vector<Finding> out;
+  if (job.ranks.empty()) return out;
+  const JobView v = summarize(job);
+  if (v.wall_total <= 0.0) return out;
+
+  // Missed overlap (§III-C): host idle is recoverable wallclock.
+  const double idle_frac = v.idle / v.wall_total;
+  if (idle_frac >= opts.min_fraction) {
+    out.push_back(
+        {FindingKind::kMissedOverlap, idle_frac, "",
+         strprintf("%.1f%% of wallclock is implicit host blocking (@CUDA_HOST_IDLE): "
+                   "synchronous memory operations wait for the GPU. Switch to "
+                   "cudaMemcpyAsync + events, or overlap independent host work / MPI "
+                   "communication; up to %.2f s per rank is recoverable.",
+                   100.0 * idle_frac,
+                   v.idle / static_cast<double>(job.ranks.size()))});
+  }
+
+  // Thunking-style transfer domination (§IV-D).
+  if (v.gpu > 0.0 && v.transfers > 2.0 * v.gpu &&
+      v.transfers / v.wall_total >= opts.min_fraction) {
+    out.push_back(
+        {FindingKind::kTransferBound, v.transfers / v.wall_total, "",
+         strprintf("PCIe transfers (%.2f s) dwarf GPU compute (%.2f s, %.1fx). If the "
+                   "thunking BLAS wrappers are in use, move to the direct interface: "
+                   "keep operands resident on the device across calls.",
+                   v.transfers, v.gpu, v.transfers / v.gpu)});
+  }
+
+  // Per-kernel load imbalance (§IV-E: ReduceForces/ClearForces).
+  for (const auto& [kernel, per_rank] : v.kernel_by_rank) {
+    if (job.nranks < 2) break;
+    const auto [mn, mx] = std::minmax_element(per_rank.begin(), per_rank.end());
+    if (*mn <= 0.0 || *mx / *mn < opts.imbalance_ratio) continue;
+    if (*mx * job.nranks / v.wall_total < opts.min_fraction) continue;  // too small
+    out.push_back(
+        {FindingKind::kKernelImbalance, *mx / *mn - 1.0, kernel,
+         strprintf("kernel %s is imbalanced across ranks (max/min = %.2f, %.2f s vs "
+                   "%.2f s). Rebalancing its domain decomposition would save up to "
+                   "%.2f s on the critical path.",
+                   kernel.c_str(), *mx / *mn, *mx, *mn, *mx - *mn)});
+  }
+
+  // Host-side synchronization waits (§IV-E: 22.5% in cudaThreadSynchronize).
+  const double sync_frac = v.sync / v.wall_total;
+  if (sync_frac >= opts.min_fraction) {
+    out.push_back(
+        {FindingKind::kSyncBound, sync_frac, "",
+         strprintf("%.1f%% of wallclock is host-side synchronization "
+                   "(*Synchronize calls). In a fully heterogeneous implementation the "
+                   "CPU could compute during these waits.",
+                   100.0 * sync_frac)});
+  }
+
+  // Communication share and the dominating routine (§IV-D at 256 ranks).
+  const double mpi_frac = v.mpi / v.wall_total;
+  if (mpi_frac >= opts.min_fraction && !v.mpi_by_routine.empty()) {
+    const auto top = std::max_element(
+        v.mpi_by_routine.begin(), v.mpi_by_routine.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    out.push_back(
+        {FindingKind::kCommBound, mpi_frac, top->first,
+         strprintf("%.1f%% of wallclock is MPI, led by %s (%.2f s total). Consider a "
+                   "smaller process count per GPU, communication/computation overlap, "
+                   "or replacing rooted collectives at scale.",
+                   100.0 * mpi_frac, top->first.c_str(), top->second)});
+  }
+
+  // Low utilization of the accelerator.
+  const double gpu_frac = v.gpu / v.wall_total;
+  if (gpu_frac > 0.0 && gpu_frac < 0.25) {
+    out.push_back(
+        {FindingKind::kLowGpuUtilization, 0.25 - gpu_frac, "",
+         strprintf("the GPU executes kernels for only %.1f%% of wallclock; offloading "
+                   "is paying its transfer and synchronization costs without keeping "
+                   "the device busy. Enlarge offloaded work units or batch kernels.",
+                   100.0 * gpu_frac)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) { return a.severity > b.severity; });
+  return out;
+}
+
+void write_advice(std::ostream& os, const ipm::JobProfile& job,
+                  const AdvisorOptions& opts) {
+  const std::vector<Finding> findings = advise(job, opts);
+  os << "# IPM advisor — " << job.command << " (" << job.nranks << " tasks)\n";
+  if (findings.empty()) {
+    os << "no significant findings: the profile looks well balanced.\n";
+    return;
+  }
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << strprintf("%zu. [%s, severity %.2f] ", i + 1, kind_name(f.kind), f.severity)
+       << f.message << "\n";
+  }
+}
+
+}  // namespace ipm_parse

@@ -1,0 +1,53 @@
+// Performance advisor — the paper's §VI outlook ("using the derived
+// monitoring data for performance modeling and advanced guidance to users
+// on the merits or pitfalls of accelerating their applications"),
+// implemented on top of the aggregated job profile.
+//
+// The advisor derives the high-level metrics the paper's case studies read
+// off manually (GPU utilization, host idle fraction, transfer-to-compute
+// ratio, per-kernel imbalance, synchronization share, communication share)
+// and turns each into a concrete, quantified finding.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ipm/monitor.hpp"
+
+namespace ipm_parse {
+
+enum class FindingKind {
+  kMissedOverlap,      ///< large @CUDA_HOST_IDLE: synchronous transfers wait
+  kTransferBound,      ///< cublasSet/GetMatrix dwarf the GPU kernel time
+  kKernelImbalance,    ///< per-rank spread of one kernel's GPU time
+  kSyncBound,          ///< host blocked in *Synchronize calls
+  kCommBound,          ///< MPI dominates; names the top routine
+  kLowGpuUtilization,  ///< GPU mostly idle relative to wallclock
+  kInitOverhead,       ///< context-initialization cost significant vs run
+};
+
+struct Finding {
+  FindingKind kind;
+  double severity = 0.0;  ///< fraction of wallclock (or max/min ratio - 1)
+  std::string subject;    ///< kernel / routine the finding is about ("" = job)
+  std::string message;    ///< human-readable, quantified recommendation
+};
+
+struct AdvisorOptions {
+  double min_fraction = 0.05;     ///< report shares of wallclock above this
+  double imbalance_ratio = 1.25;  ///< report kernels with max/min above this
+};
+
+/// Analyse a job profile and return findings sorted by descending severity.
+[[nodiscard]] std::vector<Finding> advise(const ipm::JobProfile& job,
+                                          const AdvisorOptions& opts = {});
+
+/// Render the findings as a text report (the `ipm_parse --advise` output).
+void write_advice(std::ostream& os, const ipm::JobProfile& job,
+                  const AdvisorOptions& opts = {});
+
+/// Stable identifier for a finding kind ("missed-overlap", ...).
+[[nodiscard]] const char* kind_name(FindingKind kind) noexcept;
+
+}  // namespace ipm_parse

@@ -1,0 +1,48 @@
+// ipm_parse: the IPM log parser (paper §II).  Consumes the XML profiling
+// log and produces (a) the banner again, (b) an HTML report suited for
+// permanent storage, and (c) a CUBE-like XML export for interactive
+// exploration (structurally CUBE3: metric tree, call tree, system tree and
+// a severity matrix; not byte-compatible with Scalasca's reader).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ipm/monitor.hpp"
+
+namespace ipm_parse {
+
+/// Write an HTML report of the job profile.
+void write_html(std::ostream& os, const ipm::JobProfile& job);
+void write_html_file(const std::string& path, const ipm::JobProfile& job);
+
+/// Write the CUBE-like export: metrics = {time, count, bytes}, call tree =
+/// event names grouped into CUDA/MPI/CUBLAS/CUFFT/GPU branches, system
+/// tree = nodes/ranks, severity = per (metric, callpath, rank) values.
+void write_cube(std::ostream& os, const ipm::JobProfile& job);
+void write_cube_file(const std::string& path, const ipm::JobProfile& job);
+
+}  // namespace ipm_parse
+
+namespace ipm_parse {
+
+/// One row of a side-by-side profile comparison.
+struct CompareRow {
+  std::string name;
+  double tsum_a = 0.0;
+  double tsum_b = 0.0;
+  std::uint64_t count_a = 0;
+  std::uint64_t count_b = 0;
+
+  [[nodiscard]] double delta() const noexcept { return tsum_b - tsum_a; }
+};
+
+/// Side-by-side comparison of two job profiles (e.g. the MKL and CUBLAS
+/// runs of the paper's PARATEC study), sorted by descending |delta|.
+[[nodiscard]] std::vector<CompareRow> compare(const ipm::JobProfile& a,
+                                              const ipm::JobProfile& b);
+
+/// Render the comparison as a text report (`ipm_parse --compare A B`).
+void write_compare(std::ostream& os, const ipm::JobProfile& a, const ipm::JobProfile& b);
+
+}  // namespace ipm_parse

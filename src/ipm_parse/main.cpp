@@ -1,0 +1,72 @@
+// ipm_parse — the IPM log parser tool (paper §II).
+//
+// Usage:
+//   ipm_parse <profile.xml>                 # re-produce the banner
+//   ipm_parse --html out.html <profile.xml> # HTML report
+//   ipm_parse --cube out.cube <profile.xml> # CUBE-like export
+//   ipm_parse --advise <profile.xml>        # tuning guidance (paper SVI)
+//   ipm_parse --compare <a.xml> <b.xml>     # side-by-side profile diff
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ipm/report.hpp"
+#include "ipm_parse/advisor.hpp"
+#include "ipm_parse/export.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ipm_parse [--html FILE | --cube FILE | --advise] <profile.xml>\n"
+               "       ipm_parse --compare <a.xml> <b.xml>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string html_out;
+  std::string cube_out;
+  bool advise = false;
+  bool do_compare = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--html" && i + 1 < argc) html_out = argv[++i];
+    else if (arg == "--cube" && i + 1 < argc) cube_out = argv[++i];
+    else if (arg == "--advise") advise = true;
+    else if (arg == "--compare") do_compare = true;
+    else if (!arg.empty() && arg[0] == '-') return usage();
+    else inputs.push_back(arg);
+  }
+  if (inputs.empty() || (do_compare && inputs.size() != 2)) return usage();
+  const std::string& input = inputs[0];
+  try {
+    if (do_compare) {
+      const ipm::JobProfile a = ipm::parse_xml_file(inputs[0]);
+      const ipm::JobProfile b = ipm::parse_xml_file(inputs[1]);
+      ipm_parse::write_compare(std::cout, a, b);
+      return 0;
+    }
+    const ipm::JobProfile job = ipm::parse_xml_file(input);
+    if (!html_out.empty()) {
+      ipm_parse::write_html_file(html_out, job);
+      std::printf("wrote %s\n", html_out.c_str());
+    }
+    if (!cube_out.empty()) {
+      ipm_parse::write_cube_file(cube_out, job);
+      std::printf("wrote %s\n", cube_out.c_str());
+    }
+    if (advise) {
+      ipm_parse::write_advice(std::cout, job);
+    } else if (html_out.empty() && cube_out.empty()) {
+      ipm::write_banner(std::cout, job, {.max_rows = 0, .full = true});
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipm_parse: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

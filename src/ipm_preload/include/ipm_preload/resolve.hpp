@@ -1,0 +1,14 @@
+// Dynamic-interposition support (paper §III-A: "the standard technique of
+// dynamic library interposition").  The generated preload wrappers define
+// the public CUDA symbols; resolve_next finds the *next* definition in
+// library search order (the real libsimcudart.so) via dlsym(RTLD_NEXT).
+#pragma once
+
+namespace ipm::preload {
+
+/// dlsym(RTLD_NEXT, name); aborts with a diagnostic if the symbol cannot
+/// be resolved (a preload wrapper without a real implementation behind it
+/// can only misbehave).
+[[nodiscard]] void* resolve_next(const char* name);
+
+}  // namespace ipm::preload

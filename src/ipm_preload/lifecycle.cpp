@@ -1,0 +1,19 @@
+// Library lifecycle of the LD_PRELOAD interposer: monitoring starts when
+// the shared object is loaded; the report is emitted by the core's TLS
+// owner when the monitored thread exits (which happens *before* the CUDA
+// runtime's statics are torn down — an ELF destructor here would run too
+// late to drain the kernel timing table).  No source changes,
+// recompilation, or even re-linking of the application (paper §I).
+#include "ipm/monitor.hpp"
+
+namespace {
+
+__attribute__((constructor)) void ipm_preload_init() {
+  ipm::Config cfg;
+  cfg.banner_to_stdout = true;  // default for the preload scenario
+  cfg.report_at_exit = true;
+  cfg = ipm::config_from_env(cfg);
+  ipm::job_begin(cfg, "(preloaded application)");
+}
+
+}  // namespace

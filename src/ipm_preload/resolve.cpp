@@ -1,0 +1,19 @@
+#include "ipm_preload/resolve.hpp"
+
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipm::preload {
+
+void* resolve_next(const char* name) {
+  void* sym = dlsym(RTLD_NEXT, name);
+  if (sym == nullptr) {
+    std::fprintf(stderr, "ipm_preload: cannot resolve real '%s': %s\n", name, dlerror());
+    std::abort();
+  }
+  return sym;
+}
+
+}  // namespace ipm::preload

@@ -1,0 +1,2 @@
+// Compiles the generated LD_PRELOAD wrappers for the CUDA runtime API.
+#include "generated/preload_cuda_runtime.inc"

@@ -1,0 +1,310 @@
+// MPI API entry points: argument validation + dispatch into the World of
+// the calling rank thread.  Public MPI_X symbols forward to
+// mpisim_real_MPI_X (same interposition pattern as cudasim).
+#include <cstdio>
+#include <cstdlib>
+
+#include "mpisim/real.h"
+#include "simcommon/clock.hpp"
+#include "world.hpp"
+
+using mpisim::datatype_size;
+using mpisim::detail::World;
+
+namespace {
+
+World& world() {
+  World* w = World::current();
+  return w != nullptr ? *w : World::standalone();
+}
+
+int check_comm(MPI_Comm comm) {
+  return world().comm_of(comm) != nullptr ? MPI_SUCCESS : MPI_ERR_COMM;
+}
+
+int check_count_type(int count, MPI_Datatype dt) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (datatype_size(dt) == 0) return MPI_ERR_TYPE;
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+extern "C" {
+
+int mpisim_real_MPI_Init(int*, char***) {
+  world().initialized_flag = true;
+  return MPI_SUCCESS;
+}
+
+int mpisim_real_MPI_Finalize(void) { return MPI_SUCCESS; }
+
+int mpisim_real_MPI_Initialized(int* flag) {
+  if (flag == nullptr) return MPI_ERR_ARG;
+  *flag = world().initialized_flag ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int mpisim_real_MPI_Abort(MPI_Comm, int errorcode) {
+  std::fprintf(stderr, "mpisim: MPI_Abort(%d) called by rank %d\n", errorcode,
+               World::current_rank());
+  std::abort();
+}
+
+int mpisim_real_MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (rank == nullptr) return MPI_ERR_ARG;
+  *rank = world().comm_rank(comm);
+  return MPI_SUCCESS;
+}
+
+int mpisim_real_MPI_Comm_size(MPI_Comm comm, int* size) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (size == nullptr) return MPI_ERR_ARG;
+  *size = world().comm_of(comm)->size();
+  return MPI_SUCCESS;
+}
+
+int mpisim_real_MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (newcomm == nullptr) return MPI_ERR_ARG;
+  return world().comm_split(comm, color, key, newcomm);
+}
+
+int mpisim_real_MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (newcomm == nullptr) return MPI_ERR_ARG;
+  return world().comm_dup(comm, newcomm);
+}
+
+int mpisim_real_MPI_Comm_free(MPI_Comm* comm) {
+  if (comm == nullptr) return MPI_ERR_ARG;
+  return world().comm_free(comm);
+}
+
+int mpisim_real_MPI_Get_processor_name(char* name, int* resultlen) {
+  if (name == nullptr || resultlen == nullptr) return MPI_ERR_ARG;
+  const std::string& host = simx::current_context().hostname;
+  std::snprintf(name, MPI_MAX_PROCESSOR_NAME, "%s", host.c_str());
+  *resultlen = static_cast<int>(host.size());
+  return MPI_SUCCESS;
+}
+
+double mpisim_real_MPI_Wtime(void) { return simx::virtual_now(); }
+
+int mpisim_real_MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                         MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  return world().send(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
+                      dest, tag, /*blocking=*/true, nullptr);
+}
+
+int mpisim_real_MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                         MPI_Comm comm, MPI_Status* status) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  return world().recv(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
+                      source, tag, status);
+}
+
+int mpisim_real_MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
+                          MPI_Comm comm, MPI_Request* request) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  if (request == nullptr) return MPI_ERR_ARG;
+  return world().send(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
+                      dest, tag, /*blocking=*/false, request);
+}
+
+int mpisim_real_MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
+                          MPI_Comm comm, MPI_Request* request) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  if (request == nullptr) return MPI_ERR_ARG;
+  return world().irecv(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
+                       source, tag, request);
+}
+
+int mpisim_real_MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  if (request == nullptr) return MPI_ERR_ARG;
+  const int rc = world().wait(*request, status);
+  *request = MPI_REQUEST_NULL;
+  return rc;
+}
+
+int mpisim_real_MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (requests == nullptr && count > 0) return MPI_ERR_ARG;
+  int rc = MPI_SUCCESS;
+  for (int i = 0; i < count; ++i) {
+    MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    const int e = mpisim_real_MPI_Wait(&requests[i], st);
+    if (e != MPI_SUCCESS) rc = e;
+  }
+  return rc;
+}
+
+int mpisim_real_MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                             int dest, int sendtag, void* recvbuf, int recvcount,
+                             MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
+                             MPI_Status* status) {
+  MPI_Request req = MPI_REQUEST_NULL;
+  if (const int e = mpisim_real_MPI_Isend(sendbuf, sendcount, sendtype, dest, sendtag,
+                                          comm, &req);
+      e != MPI_SUCCESS) {
+    return e;
+  }
+  if (const int e =
+          mpisim_real_MPI_Recv(recvbuf, recvcount, recvtype, source, recvtag, comm, status);
+      e != MPI_SUCCESS) {
+    return e;
+  }
+  return mpisim_real_MPI_Wait(&req, MPI_STATUS_IGNORE);
+}
+
+int mpisim_real_MPI_Get_count(const MPI_Status* status, MPI_Datatype dt, int* count) {
+  if (status == nullptr || count == nullptr) return MPI_ERR_ARG;
+  const std::size_t esize = datatype_size(dt);
+  if (esize == 0) return MPI_ERR_TYPE;
+  *count = static_cast<int>(status->count_bytes / esize);
+  return MPI_SUCCESS;
+}
+
+int mpisim_real_MPI_Barrier(MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  return world().barrier(comm);
+}
+
+int mpisim_real_MPI_Bcast(void* buffer, int count, MPI_Datatype dt, int root,
+                          MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
+  return world().bcast(comm, buffer, static_cast<std::size_t>(count) * datatype_size(dt),
+                       root);
+}
+
+int mpisim_real_MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype dt,
+                           MPI_Op op, int root, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
+  return world().reduce(comm, sendbuf, recvbuf, count, dt, op, root, /*all=*/false);
+}
+
+int mpisim_real_MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                              MPI_Datatype dt, MPI_Op op, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
+  return world().reduce(comm, sendbuf, recvbuf, count, dt, op, 0, /*all=*/true);
+}
+
+int mpisim_real_MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int, MPI_Datatype, int root, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
+  if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
+  return world().gather(comm, sendbuf,
+                        static_cast<std::size_t>(sendcount) * datatype_size(sendtype),
+                        recvbuf, root, /*all=*/false);
+}
+
+int mpisim_real_MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                              void* recvbuf, int, MPI_Datatype, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
+  return world().gather(comm, sendbuf,
+                        static_cast<std::size_t>(sendcount) * datatype_size(sendtype),
+                        recvbuf, 0, /*all=*/true);
+}
+
+int mpisim_real_MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                            void* recvbuf, int, MPI_Datatype, int root, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
+  if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
+  return world().scatter(comm, sendbuf,
+                         static_cast<std::size_t>(sendcount) * datatype_size(sendtype),
+                         recvbuf, root);
+}
+
+int mpisim_real_MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                             void* recvbuf, int, MPI_Datatype, MPI_Comm comm) {
+  if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
+  if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
+  return world().alltoall(comm, sendbuf,
+                          static_cast<std::size_t>(sendcount) * datatype_size(sendtype),
+                          recvbuf);
+}
+
+// Public forwarders ----------------------------------------------------------
+
+int MPI_Init(int* argc, char*** argv) { return mpisim_real_MPI_Init(argc, argv); }
+int MPI_Finalize(void) { return mpisim_real_MPI_Finalize(); }
+int MPI_Initialized(int* flag) { return mpisim_real_MPI_Initialized(flag); }
+int MPI_Abort(MPI_Comm c, int e) { return mpisim_real_MPI_Abort(c, e); }
+int MPI_Comm_rank(MPI_Comm c, int* r) { return mpisim_real_MPI_Comm_rank(c, r); }
+int MPI_Comm_size(MPI_Comm c, int* s) { return mpisim_real_MPI_Comm_size(c, s); }
+int MPI_Get_processor_name(char* n, int* l) {
+  return mpisim_real_MPI_Get_processor_name(n, l);
+}
+int MPI_Comm_split(MPI_Comm c, int color, int key, MPI_Comm* nc) {
+  return mpisim_real_MPI_Comm_split(c, color, key, nc);
+}
+int MPI_Comm_dup(MPI_Comm c, MPI_Comm* nc) { return mpisim_real_MPI_Comm_dup(c, nc); }
+int MPI_Comm_free(MPI_Comm* c) { return mpisim_real_MPI_Comm_free(c); }
+double MPI_Wtime(void) { return mpisim_real_MPI_Wtime(); }
+int MPI_Send(const void* b, int c, MPI_Datatype d, int dst, int t, MPI_Comm cm) {
+  return mpisim_real_MPI_Send(b, c, d, dst, t, cm);
+}
+int MPI_Recv(void* b, int c, MPI_Datatype d, int s, int t, MPI_Comm cm, MPI_Status* st) {
+  return mpisim_real_MPI_Recv(b, c, d, s, t, cm, st);
+}
+int MPI_Isend(const void* b, int c, MPI_Datatype d, int dst, int t, MPI_Comm cm,
+              MPI_Request* r) {
+  return mpisim_real_MPI_Isend(b, c, d, dst, t, cm, r);
+}
+int MPI_Irecv(void* b, int c, MPI_Datatype d, int s, int t, MPI_Comm cm, MPI_Request* r) {
+  return mpisim_real_MPI_Irecv(b, c, d, s, t, cm, r);
+}
+int MPI_Wait(MPI_Request* r, MPI_Status* s) { return mpisim_real_MPI_Wait(r, s); }
+int MPI_Waitall(int c, MPI_Request* r, MPI_Status* s) {
+  return mpisim_real_MPI_Waitall(c, r, s);
+}
+int MPI_Sendrecv(const void* sb, int sc, MPI_Datatype st, int d, int stg, void* rb, int rc,
+                 MPI_Datatype rt, int src, int rtg, MPI_Comm cm, MPI_Status* stat) {
+  return mpisim_real_MPI_Sendrecv(sb, sc, st, d, stg, rb, rc, rt, src, rtg, cm, stat);
+}
+int MPI_Get_count(const MPI_Status* s, MPI_Datatype d, int* c) {
+  return mpisim_real_MPI_Get_count(s, d, c);
+}
+int MPI_Barrier(MPI_Comm c) { return mpisim_real_MPI_Barrier(c); }
+int MPI_Bcast(void* b, int c, MPI_Datatype d, int r, MPI_Comm cm) {
+  return mpisim_real_MPI_Bcast(b, c, d, r, cm);
+}
+int MPI_Reduce(const void* sb, void* rb, int c, MPI_Datatype d, MPI_Op o, int r,
+               MPI_Comm cm) {
+  return mpisim_real_MPI_Reduce(sb, rb, c, d, o, r, cm);
+}
+int MPI_Allreduce(const void* sb, void* rb, int c, MPI_Datatype d, MPI_Op o, MPI_Comm cm) {
+  return mpisim_real_MPI_Allreduce(sb, rb, c, d, o, cm);
+}
+int MPI_Gather(const void* sb, int sc, MPI_Datatype st, void* rb, int rc, MPI_Datatype rt,
+               int r, MPI_Comm cm) {
+  return mpisim_real_MPI_Gather(sb, sc, st, rb, rc, rt, r, cm);
+}
+int MPI_Allgather(const void* sb, int sc, MPI_Datatype st, void* rb, int rc,
+                  MPI_Datatype rt, MPI_Comm cm) {
+  return mpisim_real_MPI_Allgather(sb, sc, st, rb, rc, rt, cm);
+}
+int MPI_Scatter(const void* sb, int sc, MPI_Datatype st, void* rb, int rc, MPI_Datatype rt,
+                int r, MPI_Comm cm) {
+  return mpisim_real_MPI_Scatter(sb, sc, st, rb, rc, rt, r, cm);
+}
+int MPI_Alltoall(const void* sb, int sc, MPI_Datatype st, void* rb, int rc,
+                 MPI_Datatype rt, MPI_Comm cm) {
+  return mpisim_real_MPI_Alltoall(sb, sc, st, rb, rc, rt, cm);
+}
+
+}  // extern "C"

@@ -1,0 +1,54 @@
+#include "mpisim/cluster.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "simcommon/clock.hpp"
+#include "simcommon/str.hpp"
+#include "world.hpp"
+
+namespace mpisim {
+
+std::vector<RankOutcome> run_cluster(const ClusterConfig& config,
+                                     const std::function<void(int)>& body) {
+  if (config.ranks < 1 || config.ranks_per_node < 1) {
+    throw std::invalid_argument("run_cluster: ranks and ranks_per_node must be >= 1");
+  }
+  detail::World world(config);
+  std::vector<RankOutcome> outcomes(static_cast<std::size_t>(config.ranks));
+  std::vector<simx::NoiseModel> noise(static_cast<std::size_t>(config.ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config.ranks));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (int r = 0; r < config.ranks; ++r) {
+    noise[static_cast<std::size_t>(r)] =
+        simx::NoiseModel(config.noise, config.noise_seed, static_cast<std::uint64_t>(r));
+    threads.emplace_back([&, r] {
+      simx::ExecContext ctx;
+      ctx.world_rank = r;
+      ctx.world_size = config.ranks;
+      ctx.node_id = r / config.ranks_per_node;
+      ctx.local_rank = r % config.ranks_per_node;
+      ctx.hostname = simx::strprintf("%s%02d", config.hostname_prefix.c_str(), ctx.node_id);
+      ctx.noise = &noise[static_cast<std::size_t>(r)];
+      simx::set_current_context(&ctx);
+      detail::World::bind_thread(&world, r);
+      try {
+        body(r);
+      } catch (...) {
+        std::scoped_lock lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      outcomes[static_cast<std::size_t>(r)] = RankOutcome{r, ctx.clock.now()};
+      detail::World::bind_thread(nullptr, 0);
+      simx::set_current_context(nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return outcomes;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,56 @@
+// Cluster runner: executes an SPMD body on N simulated ranks.
+//
+// Each rank runs on its own std::thread with a private virtual clock and an
+// optional noise substream.  Ranks are assigned to nodes block-wise
+// (ranks_per_node consecutive ranks per node), which also determines GPU
+// sharing through cudasim (ranks on one node contend for that node's GPU —
+// paper §I item 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simcommon/noise.hpp"
+
+namespace mpisim {
+
+/// Hockney-style network cost model (QDR InfiniBand-ish defaults).
+struct NetworkModel {
+  double alpha = 1.7e-6;        ///< per-message latency (s).
+  double beta = 1.0 / 3.2e9;    ///< per-byte cost (s/B).
+  double gamma_compute = 1e-9;  ///< per-byte reduction-op cost (s/B).
+  /// Extra per-byte cost factor per additional rank sharing a node's
+  /// injection port; stands in for the paper's NUMA/contention effects
+  /// (Fig. 10's MPI_Gather blow-up at 256 ranks).
+  double injection_contention = 0.0;
+};
+
+struct ClusterConfig {
+  int ranks = 1;
+  int ranks_per_node = 1;
+  NetworkModel net;
+  simx::NoiseModel::Params noise;  ///< per-operation jitter (off by default).
+  std::uint64_t noise_seed = 42;
+  std::string hostname_prefix = "dirac";
+};
+
+/// Per-rank outcome of a cluster run.
+struct RankOutcome {
+  int rank = 0;
+  double wallclock = 0.0;  ///< final virtual time of the rank.
+};
+
+/// Run `body(rank)` on every rank; returns per-rank outcomes (indexed by
+/// rank).  Any exception thrown by a rank is rethrown after all threads
+/// join.  Reentrant calls (a cluster inside a rank) are not supported.
+std::vector<RankOutcome> run_cluster(const ClusterConfig& config,
+                                     const std::function<void(int)>& body);
+
+/// Number of nodes a configuration spans.
+[[nodiscard]] inline int node_count(const ClusterConfig& c) {
+  return (c.ranks + c.ranks_per_node - 1) / c.ranks_per_node;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,118 @@
+// mpisim: an in-process MPI subset backed by virtual-time rank threads.
+//
+// One std::thread per rank, each with its own simx::ExecContext virtual
+// clock.  Communication really moves data between rank buffers (results
+// are testable) while completion times come from a Hockney-style cost
+// model (alpha/beta with log-tree collectives), so load imbalance shows up
+// as MPI wait time exactly as on a real cluster — the effect IPM's MPI
+// monitoring measures.
+//
+// Declarations use the real MPI names so the interposition layer (ipm_mpi)
+// wraps the same symbols it would wrap on a production system.
+#pragma once
+
+#include <cstddef>
+
+extern "C" {
+
+typedef int MPI_Comm;
+#define MPI_COMM_WORLD 0
+#define MPI_COMM_NULL (-1)
+
+typedef int MPI_Datatype;
+#define MPI_CHAR 1
+#define MPI_BYTE 2
+#define MPI_INT 3
+#define MPI_LONG 4
+#define MPI_UNSIGNED_LONG 5
+#define MPI_FLOAT 6
+#define MPI_DOUBLE 7
+#define MPI_DOUBLE_COMPLEX 8
+
+typedef int MPI_Op;
+#define MPI_SUM 1
+#define MPI_MAX 2
+#define MPI_MIN 3
+#define MPI_PROD 4
+
+#define MPI_ANY_SOURCE (-2)
+#define MPI_ANY_TAG (-1)
+#define MPI_UNDEFINED (-32766)
+
+#define MPI_SUCCESS 0
+#define MPI_ERR_COMM 5
+#define MPI_ERR_TYPE 3
+#define MPI_ERR_COUNT 2
+#define MPI_ERR_RANK 6
+#define MPI_ERR_TAG 4
+#define MPI_ERR_OP 9
+#define MPI_ERR_ARG 12
+#define MPI_ERR_OTHER 15
+#define MPI_MAX_PROCESSOR_NAME 256
+
+typedef struct MPI_Status {
+  int MPI_SOURCE;
+  int MPI_TAG;
+  int MPI_ERROR;
+  std::size_t count_bytes;  // internal: received payload size
+} MPI_Status;
+
+#define MPI_STATUS_IGNORE ((MPI_Status*)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status*)0)
+
+typedef struct mpisim_request* MPI_Request;
+#define MPI_REQUEST_NULL ((MPI_Request)0)
+
+/// In-place marker for reductions (same value trick as real MPI).
+#define MPI_IN_PLACE ((void*)1)
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize(void);
+int MPI_Initialized(int* flag);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+/// Split `comm` into sub-communicators by color (MPI_UNDEFINED opts out and
+/// receives MPI_COMM_NULL), ordered by (key, parent rank).  Collective.
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+int MPI_Get_processor_name(char* name, int* resultlen);
+double MPI_Wtime(void);
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+             MPI_Comm comm, MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int source, int recvtag, MPI_Comm comm, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+               MPI_Op op, int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+                  MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                  void* recvbuf, int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+
+}  // extern "C"
+
+namespace mpisim {
+/// Size in bytes of one element of `datatype` (0 for invalid handles).
+[[nodiscard]] std::size_t datatype_size(MPI_Datatype datatype) noexcept;
+}  // namespace mpisim

@@ -1,0 +1,56 @@
+// "Real" entry-point aliases for mpisim, mirroring cudasim/real.h: the
+// public MPI_X symbols are interposition targets; mpisim_real_MPI_X are the
+// direct implementations used internally and by generated wrappers.
+#pragma once
+
+#include "mpisim/mpi.h"
+
+extern "C" {
+
+int mpisim_real_MPI_Init(int* argc, char*** argv);
+int mpisim_real_MPI_Finalize(void);
+int mpisim_real_MPI_Initialized(int* flag);
+int mpisim_real_MPI_Abort(MPI_Comm comm, int errorcode);
+int mpisim_real_MPI_Comm_rank(MPI_Comm comm, int* rank);
+int mpisim_real_MPI_Comm_size(MPI_Comm comm, int* size);
+int mpisim_real_MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int mpisim_real_MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int mpisim_real_MPI_Comm_free(MPI_Comm* comm);
+int mpisim_real_MPI_Get_processor_name(char* name, int* resultlen);
+double mpisim_real_MPI_Wtime(void);
+int mpisim_real_MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest,
+                         int tag, MPI_Comm comm);
+int mpisim_real_MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+                         MPI_Comm comm, MPI_Status* status);
+int mpisim_real_MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest,
+                          int tag, MPI_Comm comm, MPI_Request* request);
+int mpisim_real_MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+                          MPI_Comm comm, MPI_Request* request);
+int mpisim_real_MPI_Wait(MPI_Request* request, MPI_Status* status);
+int mpisim_real_MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int mpisim_real_MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                             int dest, int sendtag, void* recvbuf, int recvcount,
+                             MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
+                             MPI_Status* status);
+int mpisim_real_MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+int mpisim_real_MPI_Barrier(MPI_Comm comm);
+int mpisim_real_MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root,
+                          MPI_Comm comm);
+int mpisim_real_MPI_Reduce(const void* sendbuf, void* recvbuf, int count,
+                           MPI_Datatype datatype, MPI_Op op, int root, MPI_Comm comm);
+int mpisim_real_MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
+                              MPI_Datatype datatype, MPI_Op op, MPI_Comm comm);
+int mpisim_real_MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                           void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                           MPI_Comm comm);
+int mpisim_real_MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                              void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                              MPI_Comm comm);
+int mpisim_real_MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                            void* recvbuf, int recvcount, MPI_Datatype recvtype, int root,
+                            MPI_Comm comm);
+int mpisim_real_MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
+                             void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                             MPI_Comm comm);
+
+}  // extern "C"

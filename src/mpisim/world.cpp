@@ -1,0 +1,497 @@
+#include "world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simcommon/clock.hpp"
+
+namespace mpisim::detail {
+
+namespace {
+thread_local World* t_world = nullptr;
+thread_local int t_rank = 0;
+}  // namespace
+
+World::World(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.ranks < 1) throw std::invalid_argument("mpisim: ranks must be >= 1");
+  Comm world;
+  world.members.resize(static_cast<std::size_t>(cfg_.ranks));
+  for (int r = 0; r < cfg_.ranks; ++r) world.members[static_cast<std::size_t>(r)] = r;
+  comms_.push_back(std::move(world));
+  coll_seq_.resize(static_cast<std::size_t>(cfg_.ranks));
+  mailbox_.resize(static_cast<std::size_t>(cfg_.ranks));
+}
+
+void World::bind_thread(World* world, int rank) {
+  t_world = world;
+  t_rank = rank;
+}
+
+World* World::current() noexcept { return t_world; }
+int World::current_rank() noexcept { return t_rank; }
+
+World& World::standalone() {
+  static World world{ClusterConfig{}};
+  return world;
+}
+
+double World::beta_eff() const noexcept {
+  const double extra = cfg_.net.injection_contention *
+                       static_cast<double>(std::max(0, cfg_.ranks_per_node - 1));
+  return cfg_.net.beta * (1.0 + extra);
+}
+
+double World::log2p(int p) noexcept {
+  return std::ceil(std::log2(static_cast<double>(std::max(2, p))));
+}
+
+const Comm* World::comm_of(int comm_id) {
+  std::scoped_lock lk(mu_);
+  if (comm_id < 0 || comm_id >= static_cast<int>(comms_.size())) return nullptr;
+  const Comm& c = comms_[static_cast<std::size_t>(comm_id)];
+  if (c.freed || c.local_rank_of(t_rank) < 0) return nullptr;
+  return &c;
+}
+
+int World::comm_rank(int comm_id) {
+  const Comm* c = comm_of(comm_id);
+  return c == nullptr ? -1 : c->local_rank_of(t_rank);
+}
+
+// ---------------------------------------------------------------------------
+// Collective rendezvous
+// ---------------------------------------------------------------------------
+
+template <typename ComputeFn>
+int World::collective(int comm_id, const void* sbuf, void* rbuf, ComputeFn&& compute,
+                      long long ivalue, int* iresult) {
+  std::unique_lock lk(mu_);
+  const Comm& comm = comms_[static_cast<std::size_t>(comm_id)];
+  const int p = comm.size();
+  const int me = comm.local_rank_of(t_rank);
+  const std::uint64_t seq = coll_seq_[static_cast<std::size_t>(t_rank)][comm_id]++;
+  const auto key = std::make_pair(comm_id, seq);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    auto slot = std::make_unique<CollSlot>();
+    slot->arrival.assign(static_cast<std::size_t>(p), 0.0);
+    slot->sendbufs.assign(static_cast<std::size_t>(p), nullptr);
+    slot->recvbufs.assign(static_cast<std::size_t>(p), nullptr);
+    slot->completion.assign(static_cast<std::size_t>(p), 0.0);
+    slot->ivalues.assign(static_cast<std::size_t>(p), 0);
+    slot->iresults.assign(static_cast<std::size_t>(p), MPI_COMM_NULL);
+    it = slots_.emplace(key, std::move(slot)).first;
+  }
+  CollSlot& slot = *it->second;
+  const auto ume = static_cast<std::size_t>(me);
+  slot.arrival[ume] = simx::virtual_now();
+  slot.sendbufs[ume] = sbuf;
+  slot.recvbufs[ume] = rbuf;
+  slot.ivalues[ume] = ivalue;
+  slot.arrived += 1;
+  if (slot.arrived == p) {
+    // Last arriver: all buffers are pinned (their owners are blocked here),
+    // so it is safe to perform the data movement on their behalf.
+    compute(comm, slot);
+    slot.computed = true;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return slot.computed; });
+  }
+  simx::current_context().clock.advance_to(slot.completion[ume]);
+  if (iresult != nullptr) *iresult = slot.iresults[ume];
+  slot.released += 1;
+  if (slot.released == p) slots_.erase(it);
+  return MPI_SUCCESS;
+}
+
+int World::barrier(int comm_id) {
+  return collective(comm_id, nullptr, nullptr, [&](const Comm& comm, CollSlot& slot) {
+    const double ready = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+    const double cost = 2.0 * cfg_.net.alpha * log2p(comm.size());
+    std::fill(slot.completion.begin(), slot.completion.end(), ready + cost);
+  });
+}
+
+int World::bcast(int comm_id, void* buf, std::size_t bytes, int root) {
+  // Small messages: binomial tree (log p hops).  Large messages: van de
+  // Geijn scatter-allgather, whose bandwidth term is ~2.n.beta independent
+  // of p.  Crossover at 64 KiB, as in common MPI implementations.
+  const double n = static_cast<double>(bytes);
+  return collective(comm_id, buf, buf, [&](const Comm& comm, CollSlot& slot) {
+    const double cost =
+        bytes <= 65536 ? log2p(comm.size()) * (cfg_.net.alpha + n * beta_eff())
+                       : cfg_.net.alpha * log2p(comm.size()) + 2.0 * n * beta_eff();
+    const void* src = slot.recvbufs[static_cast<std::size_t>(root)];
+    const double root_arrival = slot.arrival[static_cast<std::size_t>(root)];
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (r != root && bytes > 0) std::memcpy(slot.recvbufs[ur], src, bytes);
+      slot.completion[ur] = std::max(root_arrival, slot.arrival[ur]) + cost;
+    }
+  });
+}
+
+namespace {
+
+/// Elementwise reduction of `src` into `acc` (count elements of dt).
+int apply_op(void* acc, const void* src, int count, MPI_Datatype dt, MPI_Op op) {
+  auto fold = [&](auto* a, const auto* s) {
+    for (int i = 0; i < count; ++i) {
+      switch (op) {
+        case MPI_SUM: a[i] = a[i] + s[i]; break;
+        case MPI_PROD: a[i] = a[i] * s[i]; break;
+        case MPI_MAX: a[i] = std::max(a[i], s[i]); break;
+        case MPI_MIN: a[i] = std::min(a[i], s[i]); break;
+        default: break;
+      }
+    }
+  };
+  switch (dt) {
+    case MPI_INT: fold(static_cast<int*>(acc), static_cast<const int*>(src)); break;
+    case MPI_LONG: fold(static_cast<long*>(acc), static_cast<const long*>(src)); break;
+    case MPI_UNSIGNED_LONG:
+      fold(static_cast<unsigned long*>(acc), static_cast<const unsigned long*>(src));
+      break;
+    case MPI_FLOAT: fold(static_cast<float*>(acc), static_cast<const float*>(src)); break;
+    case MPI_DOUBLE:
+      fold(static_cast<double*>(acc), static_cast<const double*>(src));
+      break;
+    case MPI_DOUBLE_COMPLEX: {
+      // Complex supports SUM only (MAX/MIN are undefined in MPI as well).
+      if (op != MPI_SUM) return MPI_ERR_OP;
+      auto* a = static_cast<double*>(acc);
+      const auto* s = static_cast<const double*>(src);
+      for (int i = 0; i < 2 * count; ++i) a[i] += s[i];
+      break;
+    }
+    case MPI_CHAR:
+    case MPI_BYTE:
+      fold(static_cast<unsigned char*>(acc), static_cast<const unsigned char*>(src));
+      break;
+    default: return MPI_ERR_TYPE;
+  }
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+int World::reduce(int comm_id, const void* sbuf, void* rbuf, int count, MPI_Datatype dt,
+                  MPI_Op op, int root, bool all) {
+  // Validate the (datatype, op) combination up front so every rank reports
+  // the error consistently instead of only the rank that happens to run
+  // the reduction.
+  if (dt == MPI_DOUBLE_COMPLEX && op != MPI_SUM) return MPI_ERR_OP;
+  if (op != MPI_SUM && op != MPI_PROD && op != MPI_MAX && op != MPI_MIN) {
+    return MPI_ERR_OP;
+  }
+  const std::size_t bytes = static_cast<std::size_t>(count) * datatype_size(dt);
+  const double n = static_cast<double>(bytes);
+  int op_err = MPI_SUCCESS;
+  const int rc = collective(comm_id, sbuf, rbuf, [&](const Comm& comm, CollSlot& slot) {
+    const double compute_term = n * cfg_.net.gamma_compute;
+    // Small messages: recursive doubling (log p full-message hops).  Large
+    // messages: Rabenseifner reduce-scatter + allgather (~2.n.beta).
+    const double per_hop = cfg_.net.alpha + n * beta_eff() + compute_term;
+    const double lp = log2p(comm.size());
+    const double cost =
+        bytes <= 65536
+            ? (all ? 2.0 : 1.0) * lp * per_hop
+            : (all ? 1.0 : 0.5) *
+                  (2.0 * cfg_.net.alpha * lp + 2.0 * n * beta_eff() + compute_term);
+    const double ready = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+    // Accumulate into a scratch buffer, seeded from member 0's send buffer
+    // (or its recv buffer under MPI_IN_PLACE).
+    std::vector<char> acc(bytes);
+    auto contribution = [&](int r) -> const void* {
+      const auto ur = static_cast<std::size_t>(r);
+      return slot.sendbufs[ur] == MPI_IN_PLACE ? slot.recvbufs[ur] : slot.sendbufs[ur];
+    };
+    if (bytes > 0) std::memcpy(acc.data(), contribution(0), bytes);
+    for (int r = 1; r < comm.size(); ++r) {
+      const int e = apply_op(acc.data(), contribution(r), count, dt, op);
+      if (e != MPI_SUCCESS) op_err = e;
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      const bool gets_result = all || r == root;
+      if (gets_result && bytes > 0) std::memcpy(slot.recvbufs[ur], acc.data(), bytes);
+      slot.completion[ur] = ready + (gets_result ? cost : lp * per_hop * 0.5);
+    }
+  });
+  return rc != MPI_SUCCESS ? rc : op_err;
+}
+
+int World::gather(int comm_id, const void* sbuf, std::size_t sbytes, void* rbuf, int root,
+                  bool all) {
+  const double per_msg = cfg_.net.alpha + static_cast<double>(sbytes) * beta_eff();
+  // Large contributions use the rendezvous protocol: a sender cannot
+  // complete until the root has drained its message, and the root drains
+  // serially in rank order.  This is the rooted hot-spot that makes
+  // MPI_Gather blow up at scale in Fig. 10 (every rank, not just the root,
+  // is stuck in the gather).  Small (eager) contributions are fire-and-
+  // forget for the non-roots.
+  const bool rendezvous = sbytes > 65536;
+  return collective(comm_id, sbuf, rbuf, [&](const Comm& comm, CollSlot& slot) {
+    const double root_arrival = slot.arrival[static_cast<std::size_t>(root)];
+    const double everyone = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+    const double root_done = (rendezvous ? std::max(root_arrival, everyone) : everyone) +
+                             static_cast<double>(comm.size()) * per_msg;
+    int drain_order = 0;
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      const bool receives = all || r == root;
+      if (receives && sbytes > 0) {
+        char* base = static_cast<char*>(slot.recvbufs[ur]);
+        for (int s = 0; s < comm.size(); ++s) {
+          std::memcpy(base + static_cast<std::size_t>(s) * sbytes,
+                      slot.sendbufs[static_cast<std::size_t>(s)], sbytes);
+        }
+      }
+      if (receives) {
+        slot.completion[ur] = root_done;
+      } else if (rendezvous) {
+        drain_order += 1;
+        slot.completion[ur] = std::max(slot.arrival[ur], root_arrival) +
+                              static_cast<double>(drain_order) * per_msg;
+      } else {
+        // Eager: non-root ranks just inject one message and leave.
+        slot.completion[ur] = std::max(slot.arrival[ur], root_arrival) + per_msg;
+      }
+    }
+  });
+}
+
+int World::scatter(int comm_id, const void* sbuf, std::size_t bytes_each, void* rbuf,
+                   int root) {
+  const double per_msg = cfg_.net.alpha + static_cast<double>(bytes_each) * beta_eff();
+  return collective(comm_id, sbuf, rbuf, [&](const Comm& comm, CollSlot& slot) {
+    const auto uroot = static_cast<std::size_t>(root);
+    const char* base = static_cast<const char*>(slot.sendbufs[uroot]);
+    const double root_arrival = slot.arrival[uroot];
+    const double root_done = root_arrival + static_cast<double>(comm.size()) * per_msg;
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (bytes_each > 0) {
+        std::memcpy(slot.recvbufs[ur], base + ur * bytes_each, bytes_each);
+      }
+      slot.completion[ur] =
+          r == root ? root_done : std::max(slot.arrival[ur], root_arrival + per_msg);
+    }
+  });
+}
+
+int World::alltoall(int comm_id, const void* sbuf, std::size_t bytes_each, void* rbuf) {
+  const double per_msg = cfg_.net.alpha + static_cast<double>(bytes_each) * beta_eff();
+  return collective(comm_id, sbuf, rbuf, [&](const Comm& comm, CollSlot& slot) {
+    const double ready = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+    const double done = ready + static_cast<double>(comm.size()) * per_msg;
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (bytes_each > 0) {
+        char* out = static_cast<char*>(slot.recvbufs[ur]);
+        for (int s = 0; s < comm.size(); ++s) {
+          const auto us = static_cast<std::size_t>(s);
+          std::memcpy(out + us * bytes_each,
+                      static_cast<const char*>(slot.sendbufs[us]) + ur * bytes_each,
+                      bytes_each);
+        }
+      }
+      slot.completion[ur] = done;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+int World::comm_split(int parent, int color, int key, int* newcomm) {
+  // Contribution: (color, key) packed into the slot's integer payload;
+  // MPI_UNDEFINED yields MPI_COMM_NULL.  Keys are biased to stay positive.
+  const long long packed =
+      (static_cast<long long>(color) << 20) | static_cast<long long>(key + (1 << 19));
+  return collective(
+      parent, nullptr, nullptr,
+      [&](const Comm& comm, CollSlot& slot) {
+        // Group by color, order by (key, parent rank); assign fresh ids.
+        const double ready = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+        const double cost = 2.0 * cfg_.net.alpha * log2p(comm.size());
+        // Work on a copy of the membership: pushing new communicators must
+        // not read through the parent reference while comms_ grows.
+        const std::vector<int> parent_members = comm.members;
+        std::map<int, std::vector<std::pair<int, int>>> by_color;  // color -> (key, local)
+        for (int r = 0; r < static_cast<int>(parent_members.size()); ++r) {
+          const long long v = slot.ivalues[static_cast<std::size_t>(r)];
+          const int c = static_cast<int>(v >> 20);
+          const int k = static_cast<int>(v & ((1 << 20) - 1)) - (1 << 19);
+          if (c != MPI_UNDEFINED) by_color[c].emplace_back(k, r);
+        }
+        for (auto& [c, members] : by_color) {
+          std::sort(members.begin(), members.end());
+          Comm fresh;
+          for (const auto& [k, local] : members) {
+            fresh.members.push_back(parent_members[static_cast<std::size_t>(local)]);
+          }
+          const int id = static_cast<int>(comms_.size());
+          for (const auto& [k, local] : members) {
+            slot.iresults[static_cast<std::size_t>(local)] = id;
+          }
+          comms_.push_back(std::move(fresh));
+        }
+        std::fill(slot.completion.begin(), slot.completion.end(), ready + cost);
+      },
+      packed, newcomm);
+}
+
+int World::comm_dup(int parent, int* newcomm) {
+  return collective(
+      parent, nullptr, nullptr,
+      [&](const Comm& comm, CollSlot& slot) {
+        const double ready = *std::max_element(slot.arrival.begin(), slot.arrival.end());
+        Comm fresh;
+        fresh.members = comm.members;
+        const int id = static_cast<int>(comms_.size());
+        comms_.push_back(std::move(fresh));
+        std::fill(slot.iresults.begin(), slot.iresults.end(), id);
+        std::fill(slot.completion.begin(), slot.completion.end(),
+                  ready + 2.0 * cfg_.net.alpha * log2p(comm.size()));
+      },
+      0, newcomm);
+}
+
+int World::comm_free(int* comm_id) {
+  if (comm_id == nullptr) return MPI_ERR_ARG;
+  std::scoped_lock lk(mu_);
+  if (*comm_id <= 0 || *comm_id >= static_cast<int>(comms_.size())) {
+    return MPI_ERR_COMM;  // freeing MPI_COMM_WORLD or a bad handle
+  }
+  // Storage stays (handles are indices into comms_); freeing is local in
+  // this model, the handle is just retired for the caller.
+  *comm_id = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+int World::send(int comm_id, const void* buf, std::size_t bytes, int dest, int tag,
+                bool blocking, mpisim_request** req_out) {
+  std::unique_lock lk(mu_);
+  const Comm& comm = comms_[static_cast<std::size_t>(comm_id)];
+  if (dest < 0 || dest >= comm.size()) return MPI_ERR_RANK;
+  const int dest_world = comm.members[static_cast<std::size_t>(dest)];
+  simx::ExecContext& ec = simx::current_context();
+  const double wire_cost = cfg_.net.alpha + static_cast<double>(bytes) * beta_eff();
+  Envelope env;
+  env.comm = comm_id;
+  env.src = comm.local_rank_of(t_rank);
+  env.tag = tag;
+  env.data.assign(static_cast<const char*>(buf), static_cast<const char*>(buf) + bytes);
+  if (blocking) {
+    // Standard-mode send modelled as buffered: the sender pays the full
+    // injection cost, then continues.
+    ec.charge(wire_cost);
+    env.ready = ec.clock.now();
+  } else {
+    env.ready = ec.clock.now() + wire_cost;
+    ec.charge(cfg_.net.alpha);
+  }
+  mailbox_[static_cast<std::size_t>(dest_world)].push_back(std::move(env));
+  if (req_out != nullptr) {
+    auto req = std::make_unique<mpisim_request>();
+    req->is_send = true;
+    req->done_time = blocking ? ec.clock.now() : ec.clock.now() + wire_cost;
+    *req_out = req.get();
+    reqs_.push_back(std::move(req));
+  }
+  cv_.notify_all();
+  return MPI_SUCCESS;
+}
+
+int World::recv(int comm_id, void* buf, std::size_t max_bytes, int src, int tag,
+                MPI_Status* status) {
+  std::unique_lock lk(mu_);
+  auto& box = mailbox_[static_cast<std::size_t>(t_rank)];
+  auto matches = [&](const Envelope& e) {
+    return e.comm == comm_id && (src == MPI_ANY_SOURCE || e.src == src) &&
+           (tag == MPI_ANY_TAG || e.tag == tag);
+  };
+  std::deque<Envelope>::iterator it;
+  for (;;) {
+    it = std::find_if(box.begin(), box.end(), matches);
+    if (it != box.end()) break;
+    cv_.wait(lk);
+  }
+  if (it->data.size() > max_bytes) return MPI_ERR_COUNT;
+  std::memcpy(buf, it->data.data(), it->data.size());
+  simx::ExecContext& ec = simx::current_context();
+  const double completion = std::max(ec.clock.now(), it->ready) + cfg_.net.alpha;
+  ec.clock.advance_to(completion);
+  if (status != nullptr) {
+    status->MPI_SOURCE = it->src;
+    status->MPI_TAG = it->tag;
+    status->MPI_ERROR = MPI_SUCCESS;
+    status->count_bytes = it->data.size();
+  }
+  box.erase(it);
+  cv_.notify_all();
+  return MPI_SUCCESS;
+}
+
+int World::irecv(int comm_id, void* buf, std::size_t max_bytes, int src, int tag,
+                 mpisim_request** req_out) {
+  std::unique_lock lk(mu_);
+  auto req = std::make_unique<mpisim_request>();
+  req->is_send = false;
+  req->comm = comm_id;
+  req->buf = buf;
+  req->max_bytes = max_bytes;
+  req->src = src;
+  req->tag = tag;
+  *req_out = req.get();
+  reqs_.push_back(std::move(req));
+  simx::current_context().charge(cfg_.net.alpha);
+  return MPI_SUCCESS;
+}
+
+int World::wait(mpisim_request* req, MPI_Status* status) {
+  if (req == nullptr) return MPI_SUCCESS;  // MPI_REQUEST_NULL
+  if (req->completed) {
+    if (status != nullptr) *status = req->status;
+    return MPI_SUCCESS;
+  }
+  if (req->is_send) {
+    simx::current_context().clock.advance_to(req->done_time);
+    req->completed = true;
+    return MPI_SUCCESS;
+  }
+  // Lazily match the posted receive now.
+  const int rc =
+      recv(req->comm, req->buf, req->max_bytes, req->src, req->tag, &req->status);
+  req->completed = true;
+  if (status != nullptr) *status = req->status;
+  return rc;
+}
+
+}  // namespace mpisim::detail
+
+namespace mpisim {
+
+std::size_t datatype_size(MPI_Datatype datatype) noexcept {
+  switch (datatype) {
+    case MPI_CHAR:
+    case MPI_BYTE: return 1;
+    case MPI_INT: return sizeof(int);
+    case MPI_LONG: return sizeof(long);
+    case MPI_UNSIGNED_LONG: return sizeof(unsigned long);
+    case MPI_FLOAT: return sizeof(float);
+    case MPI_DOUBLE: return sizeof(double);
+    case MPI_DOUBLE_COMPLEX: return 2 * sizeof(double);
+    default: return 0;
+  }
+}
+
+}  // namespace mpisim

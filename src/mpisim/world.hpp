@@ -1,0 +1,156 @@
+// Internal world state of mpisim (not installed).
+//
+// Concurrency design: all communication state is guarded by one mutex per
+// World plus a single condition variable.  At the scales this simulator
+// targets (≤ a few hundred rank threads, mostly blocked), this is simpler
+// and safer than fine-grained locking, and the virtual-time cost model —
+// not lock throughput — determines every reported number.
+//
+// Determinism: collective completion times are pure functions of the
+// participants' virtual arrival times, so they are schedule-independent.
+// Point-to-point with explicit source/tag is matched in send order and is
+// deterministic too; MPI_ANY_SOURCE matches in real-time arrival order
+// (documented nondeterminism, as on a real network).
+//
+// Communicators: MPI_COMM_WORLD is comm id 0; MPI_Comm_split/dup create
+// further communicators whose ids are assigned inside the split
+// rendezvous, so every member receives the same handle value.  Collective
+// sequence numbers and rendezvous slots are per-communicator.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+
+namespace mpisim::detail {
+
+struct CollSlot {
+  int arrived = 0;
+  int released = 0;
+  bool computed = false;
+  std::vector<double> arrival;       // indexed by comm-local rank
+  std::vector<const void*> sendbufs;
+  std::vector<void*> recvbufs;
+  std::vector<double> completion;
+  std::vector<long long> ivalues;    // per-rank integer payload (comm_split)
+  std::vector<int> iresults;         // per-rank integer result (new comm id)
+};
+
+struct Envelope {
+  int comm = 0;
+  int src = 0;  ///< comm-local source rank
+  int tag = 0;
+  std::vector<char> data;
+  double ready = 0.0;  ///< virtual time at which the payload is on the wire.
+};
+
+/// A communicator: ordered world ranks; position = comm-local rank.
+struct Comm {
+  std::vector<int> members;
+  bool freed = false;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members.size()); }
+  [[nodiscard]] int local_rank_of(int world_rank) const noexcept {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == world_rank) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace mpisim::detail
+
+/// MPI_Request payload.
+struct mpisim_request {
+  bool is_send = false;
+  bool completed = false;
+  double done_time = 0.0;  ///< valid for sends once posted, recvs once matched.
+  // Receive bookkeeping (lazy matching at MPI_Wait).
+  int comm = 0;
+  void* buf = nullptr;
+  std::size_t max_bytes = 0;
+  int src = MPI_ANY_SOURCE;
+  int tag = MPI_ANY_TAG;
+  MPI_Status status{};
+};
+
+namespace mpisim::detail {
+
+class World {
+ public:
+  explicit World(ClusterConfig cfg);
+
+  [[nodiscard]] int size() const noexcept { return cfg_.ranks; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+
+  /// Communicator resolution (returns nullptr for invalid/freed handles or
+  /// if the calling rank is not a member).
+  [[nodiscard]] const Comm* comm_of(int comm_id);
+  [[nodiscard]] int comm_rank(int comm_id);  ///< calling rank within comm (-1 bad)
+
+  // Calling-rank operations (rank identity from the thread-local binding;
+  // all take the communicator id).
+  int barrier(int comm);
+  int bcast(int comm, void* buf, std::size_t bytes, int root);
+  int reduce(int comm, const void* sbuf, void* rbuf, int count, MPI_Datatype dt,
+             MPI_Op op, int root, bool all);
+  int gather(int comm, const void* sbuf, std::size_t sbytes, void* rbuf, int root,
+             bool all);
+  int scatter(int comm, const void* sbuf, std::size_t bytes_each, void* rbuf, int root);
+  int alltoall(int comm, const void* sbuf, std::size_t bytes_each, void* rbuf);
+
+  int send(int comm, const void* buf, std::size_t bytes, int dest, int tag,
+           bool blocking, mpisim_request** req_out);
+  int recv(int comm, void* buf, std::size_t max_bytes, int src, int tag,
+           MPI_Status* status);
+  int irecv(int comm, void* buf, std::size_t max_bytes, int src, int tag,
+            mpisim_request** req_out);
+  int wait(mpisim_request* req, MPI_Status* status);
+
+  /// MPI_Comm_split over `parent`: returns the new comm id through
+  /// *newcomm (MPI_COMM_NULL for color == MPI_UNDEFINED).
+  int comm_split(int parent, int color, int key, int* newcomm);
+  int comm_dup(int parent, int* newcomm);
+  int comm_free(int* comm_id);
+
+  /// Install/remove the calling thread's rank binding.
+  static void bind_thread(World* world, int rank);
+  static World* current() noexcept;
+  static int current_rank() noexcept;
+
+  /// Standalone single-rank world for programs run without run_cluster.
+  static World& standalone();
+
+  bool initialized_flag = false;  // MPI_Init seen (per world, not per rank)
+
+ private:
+  // --- cost model -----------------------------------------------------------
+  [[nodiscard]] double beta_eff() const noexcept;
+  [[nodiscard]] static double log2p(int p) noexcept;
+
+  // Collective rendezvous machinery over one communicator.  `compute` runs
+  // exactly once (in the last arriver) with the slot fully populated; it
+  // must fill slot.completion for every member and perform the data
+  // movement.  `ivalue` is an optional integer contribution (comm_split).
+  template <typename ComputeFn>
+  int collective(int comm_id, const void* sbuf, void* rbuf, ComputeFn&& compute,
+                 long long ivalue = 0, int* iresult = nullptr);
+
+  ClusterConfig cfg_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Comm> comms_;  // [0] = world; deque: stable refs across push_back
+  std::map<std::pair<int, std::uint64_t>, std::unique_ptr<CollSlot>> slots_;
+  std::vector<std::map<int, std::uint64_t>> coll_seq_;  // per rank, per comm
+  std::vector<std::deque<Envelope>> mailbox_;           // per-destination (world rank)
+  std::deque<std::unique_ptr<mpisim_request>> reqs_;    // owns all requests
+};
+
+}  // namespace mpisim::detail

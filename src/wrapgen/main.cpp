@@ -1,0 +1,72 @@
+// wrapgen — IPM's wrapper generator (paper §III-A).
+//
+// Usage:
+//   wrapgen --mode wrap     --spec a.spec --out wrap_a.inc
+//   wrapgen --mode preload  --spec a.spec --out preload_a.inc
+//   wrapgen --mode symbols  --spec a.spec [--spec b.spec ...] --out syms.cmake
+//
+// Generated files are committed; the test suite regenerates them and fails
+// on drift, so the specs remain the single source of truth.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "spec.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wrapgen --mode wrap|preload|symbols --spec FILE [--spec FILE...] "
+               "--out FILE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode;
+  std::string out_path;
+  std::vector<std::string> spec_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wrapgen: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") mode = next();
+    else if (arg == "--spec") spec_paths.push_back(next());
+    else if (arg == "--out") out_path = next();
+    else return usage();
+  }
+  if (mode.empty() || spec_paths.empty() || out_path.empty()) return usage();
+  try {
+    std::vector<wrapgen::SpecFile> specs;
+    specs.reserve(spec_paths.size());
+    for (const std::string& p : spec_paths) specs.push_back(wrapgen::parse_spec_file(p));
+    std::string output;
+    if (mode == "wrap") {
+      if (specs.size() != 1) throw std::runtime_error("wrap mode takes one spec");
+      output = wrapgen::emit_wrap(specs[0]);
+    } else if (mode == "preload") {
+      if (specs.size() != 1) throw std::runtime_error("preload mode takes one spec");
+      output = wrapgen::emit_preload(specs[0]);
+    } else if (mode == "symbols") {
+      output = wrapgen::emit_symbols(specs);
+    } else {
+      return usage();
+    }
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open output '" + out_path + "'");
+    out << output;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wrapgen: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

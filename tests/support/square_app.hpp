@@ -1,0 +1,51 @@
+// Shared test fixture: the paper's Fig. 3 example — repeated squaring of an
+// array of doubles with one CUDA thread per element, launched through the
+// CUDA 3.1 ABI (configure/setup/launch), bracketed by synchronous memcpys.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+
+namespace testsupport {
+
+inline const cusim::KernelDef& square_kernel() {
+  static const cusim::KernelDef def{
+      "square",
+      // One-thread blocks waste 31/32 SIMT lanes; calibrated so that
+      // N=100000, REPEAT=10000 lands near the paper's ~1.15 s.
+      {.flops_per_thread = 1.0,
+       .dram_bytes_per_thread = 0.0,
+       .serial_iterations = 10000.0,
+       .efficiency = 0.054,
+       .fixed_us = 0.0,
+       .double_precision = true},
+      nullptr};
+  return def;
+}
+
+/// Runs the Fig. 3 host program; returns the squared array for validation.
+inline std::vector<double> run_square_app(int n = 100000) {
+  std::vector<double> host(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) host[static_cast<std::size_t>(i)] = 1.0 + i % 7;
+  const std::size_t size = host.size() * sizeof(double);
+  double* dev = nullptr;
+  cudaMalloc(reinterpret_cast<void**>(&dev), size);
+  cudaMemcpy(dev, host.data(), size, cudaMemcpyHostToDevice);
+  cusim::launch(
+      square_kernel(), dim3(static_cast<unsigned>(n)), dim3(1),
+      [](const cusim::LaunchGeom& geom, double* a, int len) {
+        for (unsigned b = 0; b < geom.grid.x; ++b) {
+          const int idx = static_cast<int>(b);
+          if (idx < len) a[idx] = a[idx] * a[idx];
+        }
+      },
+      dev, n);
+  cudaMemcpy(host.data(), dev, size, cudaMemcpyDeviceToHost);
+  cudaFree(dev);
+  return host;
+}
+
+}  // namespace testsupport

@@ -1,0 +1,153 @@
+// Tests of the performance advisor (paper §VI outlook): each finding kind
+// fires on a profile engineered to exhibit it, and stays quiet otherwise.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ipm_parse/advisor.hpp"
+
+namespace {
+
+using ipm_parse::advise;
+using ipm_parse::Finding;
+using ipm_parse::FindingKind;
+
+/// Build a synthetic rank profile from (name, tsum) pairs.
+ipm::RankProfile make_rank(int rank, double wallclock,
+                           std::initializer_list<std::pair<const char*, double>> events) {
+  ipm::RankProfile r;
+  r.rank = rank;
+  r.hostname = "test00";
+  r.start = 0.0;
+  r.stop = wallclock;
+  r.regions = {"ipm_global"};
+  for (const auto& [name, tsum] : events) {
+    ipm::EventRecord e;
+    e.name = name;
+    e.count = 1;
+    e.tsum = tsum;
+    e.tmin = e.tmax = tsum;
+    r.events.push_back(std::move(e));
+  }
+  return r;
+}
+
+ipm::JobProfile make_job(std::vector<ipm::RankProfile> ranks) {
+  ipm::JobProfile job;
+  job.command = "./advised";
+  job.ranks = std::move(ranks);
+  job.nranks = static_cast<int>(job.ranks.size());
+  return job;
+}
+
+const Finding* find_kind(const std::vector<Finding>& fs, FindingKind kind) {
+  for (const auto& f : fs) {
+    if (f.kind == kind) return &f;
+  }
+  return nullptr;
+}
+
+TEST(Advisor, EmptyOrBalancedProfilesStayQuiet) {
+  EXPECT_TRUE(advise(make_job({})).empty());
+  const ipm::JobProfile balanced = make_job({make_rank(
+      0, 10.0, {{"@CUDA_EXEC:k", 6.0}, {"cudaLaunch", 0.1}, {"MPI_Allreduce", 0.1}})});
+  const auto findings = advise(balanced);
+  EXPECT_EQ(find_kind(findings, FindingKind::kMissedOverlap), nullptr);
+  EXPECT_EQ(find_kind(findings, FindingKind::kCommBound), nullptr);
+  EXPECT_EQ(find_kind(findings, FindingKind::kLowGpuUtilization), nullptr);
+}
+
+TEST(Advisor, MissedOverlapFires) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"@CUDA_HOST_IDLE", 4.0}, {"@CUDA_EXEC:k", 4.0}})});
+  const auto findings = advise(job);
+  const Finding* f = find_kind(findings, FindingKind::kMissedOverlap);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NEAR(f->severity, 0.4, 1e-9);
+  EXPECT_NE(f->message.find("cudaMemcpyAsync"), std::string::npos);
+}
+
+TEST(Advisor, TransferBoundFires) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"cublasSetMatrix", 3.0}, {"cublasGetMatrix", 2.0},
+                {"@CUDA_EXEC:zgemm_nn_e_kernel", 0.5}})});
+  const Finding* f = find_kind(advise(job), FindingKind::kTransferBound);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("direct interface"), std::string::npos);
+}
+
+TEST(Advisor, KernelImbalanceFiresPerKernel) {
+  const ipm::JobProfile job = make_job(
+      {make_rank(0, 10.0, {{"@CUDA_EXEC:ReduceForces", 2.0}, {"@CUDA_EXEC:Even", 3.0}}),
+       make_rank(1, 10.0, {{"@CUDA_EXEC:ReduceForces", 3.1}, {"@CUDA_EXEC:Even", 3.0}})});
+  const auto findings = advise(job);
+  const Finding* f = find_kind(findings, FindingKind::kKernelImbalance);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->subject, "ReduceForces");
+  EXPECT_NEAR(f->severity, 3.1 / 2.0 - 1.0, 1e-9);
+  // The balanced kernel must not be reported.
+  for (const auto& fd : findings) {
+    if (fd.kind == FindingKind::kKernelImbalance) {
+      EXPECT_NE(fd.subject, "Even");
+    }
+  }
+}
+
+TEST(Advisor, SyncAndCommBoundFire) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"cudaThreadSynchronize", 2.2},
+                {"MPI_Gather", 2.0},
+                {"MPI_Allreduce", 0.5},
+                {"@CUDA_EXEC:k", 3.0}})});
+  const auto findings = advise(job);
+  const Finding* sync = find_kind(findings, FindingKind::kSyncBound);
+  ASSERT_NE(sync, nullptr);
+  EXPECT_NEAR(sync->severity, 0.22, 1e-9);
+  const Finding* comm = find_kind(findings, FindingKind::kCommBound);
+  ASSERT_NE(comm, nullptr);
+  EXPECT_EQ(comm->subject, "MPI_Gather");  // the dominating routine is named
+}
+
+TEST(Advisor, LowUtilizationFires) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"@CUDA_EXEC:k", 0.5}, {"cudaLaunch", 0.01}})});
+  const Finding* f = find_kind(advise(job), FindingKind::kLowGpuUtilization);
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->message.find("5.0%"), std::string::npos);
+}
+
+TEST(Advisor, FindingsSortedBySeverity) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"@CUDA_HOST_IDLE", 1.0},
+                {"cudaThreadSynchronize", 4.0},
+                {"@CUDA_EXEC:k", 4.0}})});
+  const auto findings = advise(job);
+  ASSERT_GE(findings.size(), 2u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(findings[i - 1].severity, findings[i].severity);
+  }
+  EXPECT_EQ(findings[0].kind, FindingKind::kSyncBound);
+}
+
+TEST(Advisor, TextReportListsEverything) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 10.0, {{"@CUDA_HOST_IDLE", 4.0}, {"@CUDA_EXEC:k", 4.0}})});
+  std::ostringstream ss;
+  ipm_parse::write_advice(ss, job);
+  EXPECT_NE(ss.str().find("missed-overlap"), std::string::npos);
+  EXPECT_NE(ss.str().find("./advised"), std::string::npos);
+  std::ostringstream quiet;
+  ipm_parse::write_advice(quiet, make_job({make_rank(0, 10.0, {{"@CUDA_EXEC:k", 6.0}})}));
+  EXPECT_NE(quiet.str().find("no significant findings"), std::string::npos);
+}
+
+TEST(Advisor, ThresholdsAreConfigurable) {
+  const ipm::JobProfile job = make_job({make_rank(
+      0, 100.0, {{"@CUDA_HOST_IDLE", 3.0}, {"@CUDA_EXEC:k", 50.0}})});
+  EXPECT_EQ(find_kind(advise(job), FindingKind::kMissedOverlap), nullptr);  // 3% < 5%
+  ipm_parse::AdvisorOptions opts;
+  opts.min_fraction = 0.01;
+  EXPECT_NE(find_kind(advise(job, opts), FindingKind::kMissedOverlap), nullptr);
+}
+
+}  // namespace

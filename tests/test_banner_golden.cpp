@@ -1,0 +1,140 @@
+// Golden-format test of the IPM banner: the exact layout of Figs. 4-6 and
+// the full cluster header of Fig. 11 must stay stable (downstream scripts
+// scrape this text, as NERSC's production tooling scrapes real IPM's).
+#include <gtest/gtest.h>
+
+#include "ipm/report.hpp"
+
+namespace {
+
+ipm::EventRecord event(const char* name, std::uint64_t count, double tsum,
+                       std::int32_t select = 0, std::uint64_t bytes = 0) {
+  ipm::EventRecord e;
+  e.name = name;
+  e.count = count;
+  e.tsum = tsum;
+  e.tmin = e.tmax = count > 0 ? tsum / static_cast<double>(count) : 0.0;
+  e.select = select;
+  e.bytes = bytes;
+  return e;
+}
+
+TEST(BannerGolden, CompactSingleRankBanner) {
+  ipm::RankProfile r;
+  r.rank = 0;
+  r.hostname = "dirac15";
+  r.start = 0.0;
+  r.stop = 3.59;
+  r.regions = {"ipm_global"};
+  r.events.push_back(event("cudaMalloc", 1, 2.43));
+  r.events.push_back(event("cudaMemcpy(D2H)", 1, 1.16, 0, 800000));
+  r.events.push_back(event("cudaMemcpy(H2D)", 1, 0.0004, 0, 800000));
+  r.events.push_back(event("cudaSetupArgument", 2, 0.0001));
+  r.events.push_back(event("cudaFree", 1, 0.00008));
+  r.events.push_back(event("cudaLaunch", 1, 0.00006));
+  r.events.push_back(event("cudaConfigureCall", 1, 0.00002));
+  ipm::JobProfile job;
+  job.command = "./cuda.ipm";
+  job.nranks = 1;
+  job.ranks.push_back(std::move(r));
+
+  const std::string expected =
+      "##IPMv2.0########################################################\n"
+      "#\n"
+      "# command   : ./cuda.ipm\n"
+      "# host      : dirac15\n"
+      "# wallclock : 3.59\n"
+      "#\n"
+      "#                            [time]     [count]    <%wall>\n"
+      "# cudaMalloc                   2.43           1      67.69\n"
+      "# cudaMemcpy(D2H)              1.16           1      32.31\n"
+      "# cudaMemcpy(H2D)              0.00           1       0.01\n"
+      "# cudaSetupArgument            0.00           2       0.00\n"
+      "# cudaFree                     0.00           1       0.00\n"
+      "# cudaLaunch                   0.00           1       0.00\n"
+      "# cudaConfigureCall            0.00           1       0.00\n"
+      "#\n"
+      "#################################################################\n";
+  EXPECT_EQ(ipm::banner_string(job, {.max_rows = 24, .full = false}), expected);
+}
+
+TEST(BannerGolden, RowLimitTruncates) {
+  ipm::RankProfile r;
+  r.rank = 0;
+  r.hostname = "h";
+  r.stop = 1.0;
+  r.regions = {"ipm_global"};
+  for (int i = 0; i < 10; ++i) {
+    r.events.push_back(
+        event(("fn" + std::to_string(i)).c_str(), 1, 0.1 * (10 - i)));
+  }
+  ipm::JobProfile job;
+  job.command = "./x";
+  job.nranks = 1;
+  job.ranks.push_back(std::move(r));
+  const std::string banner = ipm::banner_string(job, {.max_rows = 3, .full = false});
+  EXPECT_NE(banner.find("fn0"), std::string::npos);
+  EXPECT_NE(banner.find("fn2"), std::string::npos);
+  EXPECT_EQ(banner.find("fn3"), std::string::npos);
+  // max_rows = 0 means unlimited.
+  const std::string full = ipm::banner_string(job, {.max_rows = 0, .full = false});
+  EXPECT_NE(full.find("fn9"), std::string::npos);
+}
+
+TEST(BannerGolden, FullHeaderFieldsForClusterJobs) {
+  ipm::JobProfile job;
+  job.command = "pmemd.cuda.MPI";
+  for (int rank = 0; rank < 4; ++rank) {
+    ipm::RankProfile r;
+    r.rank = rank;
+    r.hostname = rank < 2 ? "dirac00" : "dirac01";
+    r.stop = 45.0 + rank;  // imbalanced wallclocks
+    r.mem_bytes = 1ULL << 28;
+    r.regions = {"ipm_global"};
+    r.events.push_back(event("MPI_Allreduce", 10, 1.0 + rank));
+    r.events.push_back(event("cudaLaunch", 100, 0.5));
+    r.events.push_back(event("cufftExecZ2Z", 5, 0.25));
+    job.ranks.push_back(std::move(r));
+  }
+  job.nranks = 4;
+  const std::string banner = ipm::banner_string(job, {.max_rows = 24, .full = true});
+  EXPECT_NE(banner.find("# mpi_tasks : 4 on 2 nodes"), std::string::npos) << banner;
+  EXPECT_NE(banner.find("wallclock : 48.00"), std::string::npos);  // slowest rank
+  EXPECT_NE(banner.find("[total]"), std::string::npos);
+  EXPECT_NE(banner.find("<avg>"), std::string::npos);
+  // The per-family block lists MPI, CUDA and CUFFT (present families only).
+  EXPECT_NE(banner.find("# MPI        :"), std::string::npos);
+  EXPECT_NE(banner.find("# CUDA       :"), std::string::npos);
+  EXPECT_NE(banner.find("# CUFFT      :"), std::string::npos);
+  EXPECT_EQ(banner.find("# CUBLAS     :"), std::string::npos);  // no cublas events
+  // %comm = 10 / 186 of total wallclock.
+  EXPECT_NE(banner.find("%comm     : 5.38"), std::string::npos) << banner;
+  // mem: 4 x 256 MiB = 1 GiB total.
+  EXPECT_NE(banner.find("# mem [GB]  : 1.00"), std::string::npos);
+  // gflop/sec prints 0.00 as in the paper's Fig. 11 banner.
+  EXPECT_NE(banner.find("gflop/sec : 0.00"), std::string::npos);
+}
+
+TEST(BannerGolden, StreamsGroupIntoPerStreamRows) {
+  ipm::RankProfile r;
+  r.rank = 0;
+  r.hostname = "h";
+  r.stop = 2.0;
+  r.regions = {"ipm_global"};
+  r.events.push_back(event("@CUDA_EXEC:kern_a", 3, 0.5, /*stream=*/0));
+  r.events.push_back(event("@CUDA_EXEC:kern_b", 2, 0.25, /*stream=*/0));
+  r.events.push_back(event("@CUDA_EXEC:kern_a", 1, 0.125, /*stream=*/3));
+  ipm::JobProfile job;
+  job.command = "./s";
+  job.nranks = 1;
+  job.ranks.push_back(std::move(r));
+  const auto rows = ipm::function_table(job);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "@CUDA_EXEC_STRM00");
+  EXPECT_DOUBLE_EQ(rows[0].tsum, 0.75);
+  EXPECT_EQ(rows[0].count, 5u);
+  EXPECT_EQ(rows[1].name, "@CUDA_EXEC_STRM03");
+  EXPECT_DOUBLE_EQ(rows[1].tsum, 0.125);
+}
+
+}  // namespace

@@ -1,0 +1,489 @@
+// Numerics tests for the accelerated libraries: refblas reference kernels,
+// hostblas, cublassim (direct + thunking), and cufftsim.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "cublassim/cublas.h"
+#include "cublassim/thunking.hpp"
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cufftsim/cufft.h"
+#include "cufftsim/fft_core.hpp"
+#include "hostblas/blas.hpp"
+#include "simcommon/clock.hpp"
+#include "simcommon/rng.hpp"
+
+namespace {
+
+class BlasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cusim::reset();
+    simx::reset_default_context();
+    ASSERT_EQ(cublasInit(), CUBLAS_STATUS_SUCCESS);
+  }
+  void TearDown() override { cublasShutdown(); }
+
+  /// Device buffer seeded from host data.
+  template <typename T>
+  T* upload(const std::vector<T>& host) {
+    void* dev = nullptr;
+    EXPECT_EQ(cublasAlloc(static_cast<int>(host.size()), sizeof(T), &dev),
+              CUBLAS_STATUS_SUCCESS);
+    EXPECT_EQ(cublasSetVector(static_cast<int>(host.size()), sizeof(T), host.data(), 1,
+                              dev, 1),
+              CUBLAS_STATUS_SUCCESS);
+    return static_cast<T*>(dev);
+  }
+
+  template <typename T>
+  std::vector<T> download(const T* dev, int n) {
+    std::vector<T> host(static_cast<std::size_t>(n));
+    EXPECT_EQ(cublasGetVector(n, sizeof(T), dev, 1, host.data(), 1),
+              CUBLAS_STATUS_SUCCESS);
+    return host;
+  }
+};
+
+// --- refblas -------------------------------------------------------------------
+
+TEST(RefBlas, GemmMatchesManualTripleLoop) {
+  constexpr int kM = 7;
+  constexpr int kN = 5;
+  constexpr int kK = 6;
+  simx::Xoshiro256 rng(3);
+  std::vector<double> a(kM * kK);
+  std::vector<double> b(kK * kN);
+  std::vector<double> c(kM * kN);
+  std::vector<double> expect(kM * kN);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (int i = 0; i < kM * kN; ++i) {
+    c[static_cast<std::size_t>(i)] = expect[static_cast<std::size_t>(i)] =
+        rng.uniform(-1, 1);
+  }
+  for (int j = 0; j < kN; ++j) {
+    for (int i = 0; i < kM; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p < kK; ++p) acc += a[i + p * kM] * b[p + j * kK];
+      expect[static_cast<std::size_t>(i + j * kM)] =
+          2.0 * acc + 0.5 * expect[static_cast<std::size_t>(i + j * kM)];
+    }
+  }
+  refblas::gemm(refblas::Trans::kN, refblas::Trans::kN, kM, kN, kK, 2.0, a.data(), kM,
+                b.data(), kK, 0.5, c.data(), kM);
+  for (int i = 0; i < kM * kN; ++i) {
+    EXPECT_NEAR(c[static_cast<std::size_t>(i)], expect[static_cast<std::size_t>(i)],
+                1e-12);
+  }
+}
+
+TEST(RefBlas, GemmTransposeVariants) {
+  // C = Aᵀ·B with A (k×m) stored column-major equals Cn = (Aᵀ)·B.
+  constexpr int kM = 4;
+  constexpr int kK = 3;
+  std::vector<double> a_t(kK * kM);  // k×m
+  std::vector<double> a_n(kM * kK);  // m×k = transpose of a_t
+  simx::Xoshiro256 rng(5);
+  for (int i = 0; i < kK; ++i) {
+    for (int j = 0; j < kM; ++j) {
+      const double v = rng.uniform(-2, 2);
+      a_t[static_cast<std::size_t>(i + j * kK)] = v;
+      a_n[static_cast<std::size_t>(j + i * kM)] = v;
+    }
+  }
+  std::vector<double> b(kK * 2, 1.5);
+  std::vector<double> c1(kM * 2, 0.0);
+  std::vector<double> c2(kM * 2, 0.0);
+  refblas::gemm(refblas::Trans::kT, refblas::Trans::kN, kM, 2, kK, 1.0, a_t.data(), kK,
+                b.data(), kK, 0.0, c1.data(), kM);
+  refblas::gemm(refblas::Trans::kN, refblas::Trans::kN, kM, 2, kK, 1.0, a_n.data(), kM,
+                b.data(), kK, 0.0, c2.data(), kM);
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-12);
+}
+
+TEST(RefBlas, ConjugateTranspose) {
+  using Z = std::complex<double>;
+  const std::vector<Z> a = {{1, 2}, {3, -1}};  // 1x2 row as 2x1 col-major^H
+  std::vector<Z> c(1);
+  const std::vector<Z> b = {{1, 0}, {0, 1}};
+  // C(1x1) = A^H(1x2) * B(2x1): conj(1+2i)*1 + conj(3-i)*i = (1-2i) + (3+i)i
+  refblas::gemm(refblas::Trans::kC, refblas::Trans::kN, 1, 1, 2, Z(1, 0), a.data(), 2,
+                b.data(), 2, Z(0, 0), c.data(), 1);
+  EXPECT_NEAR(c[0].real(), 1.0 - 1.0, 1e-12);
+  EXPECT_NEAR(c[0].imag(), -2.0 + 3.0, 1e-12);
+}
+
+/// trsm property sweep: for random triangular systems, op(A)·X == alpha·B.
+class TrsmProperty
+    : public ::testing::TestWithParam<std::tuple<char, char, char, char>> {};
+
+TEST_P(TrsmProperty, SolvesTheSystem) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  constexpr int kM = 6;
+  constexpr int kN = 4;
+  const int adim = (side == 'L') ? kM : kN;
+  simx::Xoshiro256 rng(17);
+  std::vector<double> a(static_cast<std::size_t>(adim) * adim, 0.0);
+  for (int j = 0; j < adim; ++j) {
+    for (int i = 0; i < adim; ++i) {
+      const bool in_tri = (uplo == 'U') ? (i <= j) : (i >= j);
+      if (in_tri) {
+        a[static_cast<std::size_t>(i + j * adim)] =
+            (i == j) ? 4.0 + rng.uniform() : rng.uniform(-1, 1);
+      }
+    }
+  }
+  std::vector<double> b(kM * kN);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> x = b;
+  constexpr double kAlpha = 1.5;
+  refblas::trsm(side, uplo, trans, diag, kM, kN, kAlpha, a.data(), adim, x.data(), kM);
+  // Verify op(A)·X = alpha·B (or X·op(A) for side R), with unit diag applied.
+  std::vector<double> ax(kM * kN, 0.0);
+  auto opa = [&](int i, int j) {
+    double v = (trans == 'N') ? a[static_cast<std::size_t>(i + j * adim)]
+                              : a[static_cast<std::size_t>(j + i * adim)];
+    if (diag == 'U' && i == j) v = 1.0;
+    return v;
+  };
+  for (int j = 0; j < kN; ++j) {
+    for (int i = 0; i < kM; ++i) {
+      double acc = 0.0;
+      if (side == 'L') {
+        for (int p = 0; p < kM; ++p) acc += opa(i, p) * x[static_cast<std::size_t>(p + j * kM)];
+      } else {
+        for (int p = 0; p < kN; ++p) acc += x[static_cast<std::size_t>(i + p * kM)] * opa(p, j);
+      }
+      ax[static_cast<std::size_t>(i + j * kM)] = acc;
+    }
+  }
+  for (int i = 0; i < kM * kN; ++i) {
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                kAlpha * b[static_cast<std::size_t>(i)], 1e-9)
+        << "side=" << side << " uplo=" << uplo << " trans=" << trans << " diag=" << diag;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TrsmProperty,
+                         ::testing::Combine(::testing::Values('L', 'R'),
+                                            ::testing::Values('U', 'L'),
+                                            ::testing::Values('N', 'T'),
+                                            ::testing::Values('N', 'U')));
+
+TEST(RefBlas, Level1Kernels) {
+  std::vector<double> x = {3.0, -4.0, 1.0};
+  std::vector<double> y = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(refblas::nrm2(3, x.data(), 1), std::sqrt(26.0), 1e-12);
+  EXPECT_NEAR(refblas::asum(3, x.data(), 1), 8.0, 1e-12);
+  EXPECT_EQ(refblas::amax(3, x.data(), 1), 2);  // 1-based
+  EXPECT_NEAR(refblas::dot(3, x.data(), 1, y.data(), 1), 0.0, 1e-12);
+  refblas::axpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  refblas::scal(3, 0.5, y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  refblas::swap(3, x.data(), 1, y.data(), 1);
+  EXPECT_DOUBLE_EQ(x[0], 3.5);
+  // Strided access.
+  std::vector<double> strided = {1, 99, 2, 99, 3, 99};
+  EXPECT_NEAR(refblas::asum(3, strided.data(), 2), 6.0, 1e-12);
+}
+
+// --- hostblas -------------------------------------------------------------------
+
+TEST(HostBlas, ChargesVirtualTimeForGemm) {
+  simx::reset_default_context();
+  hostblas::cpu_model().execute_numerics = true;
+  constexpr int kN = 64;
+  std::vector<double> a(kN * kN, 1.0);
+  std::vector<double> c(kN * kN, 0.0);
+  const double before = simx::virtual_now();
+  hostblas::dgemm('N', 'N', kN, kN, kN, 1.0, a.data(), kN, a.data(), kN, 0.0, c.data(),
+                  kN);
+  const double elapsed = simx::virtual_now() - before;
+  // 2·64³ flops at ~8.2 GF/s ≈ 64 µs.
+  EXPECT_NEAR(elapsed, 2.0 * kN * kN * kN / (9.6e9 * 0.85), elapsed * 0.1);
+  EXPECT_DOUBLE_EQ(c[0], kN);  // row of ones dot column of ones
+}
+
+TEST(HostBlas, ModelOnlyModeSkipsMath) {
+  simx::reset_default_context();
+  hostblas::cpu_model().execute_numerics = false;
+  std::vector<double> a(16, 1.0);
+  std::vector<double> c(16, -7.0);
+  hostblas::dgemm('N', 'N', 4, 4, 4, 1.0, a.data(), 4, a.data(), 4, 0.0, c.data(), 4);
+  EXPECT_DOUBLE_EQ(c[0], -7.0);  // untouched
+  hostblas::cpu_model().execute_numerics = true;
+}
+
+// --- cublassim ------------------------------------------------------------------
+
+TEST_F(BlasTest, DgemmOnDeviceMatchesHost) {
+  constexpr int kN = 16;
+  simx::Xoshiro256 rng(21);
+  std::vector<double> a(kN * kN);
+  std::vector<double> b(kN * kN);
+  std::vector<double> c(kN * kN, 0.0);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> expect = c;
+  refblas::gemm(refblas::Trans::kN, refblas::Trans::kT, kN, kN, kN, 1.0, a.data(), kN,
+                b.data(), kN, 0.0, expect.data(), kN);
+  double* da = upload(a);
+  double* db = upload(b);
+  double* dc = upload(c);
+  cublasDgemm('N', 'T', kN, kN, kN, 1.0, da, kN, db, kN, 0.0, dc, kN);
+  EXPECT_EQ(cublasGetError(), CUBLAS_STATUS_SUCCESS);
+  const std::vector<double> got = download(dc, kN * kN);
+  for (int i = 0; i < kN * kN; ++i) {
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)], expect[static_cast<std::size_t>(i)],
+                1e-12);
+  }
+  cublasFree(da);
+  cublasFree(db);
+  cublasFree(dc);
+}
+
+TEST_F(BlasTest, Level1OnDevice) {
+  const std::vector<double> x = {1.0, -5.0, 3.0};
+  double* dx = upload(x);
+  EXPECT_EQ(cublasIdamax(3, dx, 1), 2);
+  EXPECT_NEAR(cublasDasum(3, dx, 1), 9.0, 1e-12);
+  EXPECT_NEAR(cublasDnrm2(3, dx, 1), std::sqrt(35.0), 1e-12);
+  EXPECT_NEAR(cublasDdot(3, dx, 1, dx, 1), 35.0, 1e-12);
+  cublasDscal(3, 2.0, dx, 1);
+  const auto scaled = download(dx, 3);
+  EXPECT_DOUBLE_EQ(scaled[1], -10.0);
+  cublasFree(dx);
+}
+
+TEST_F(BlasTest, SetGetMatrixWithLeadingDimensions) {
+  // 3x2 submatrix of a 5-row host matrix into a 3-row device matrix.
+  std::vector<double> host(5 * 2);
+  for (std::size_t i = 0; i < host.size(); ++i) host[i] = static_cast<double>(i);
+  void* dev = nullptr;
+  ASSERT_EQ(cublasAlloc(6, sizeof(double), &dev), CUBLAS_STATUS_SUCCESS);
+  ASSERT_EQ(cublasSetMatrix(3, 2, sizeof(double), host.data(), 5, dev, 3),
+            CUBLAS_STATUS_SUCCESS);
+  std::vector<double> back(5 * 2, -1.0);
+  ASSERT_EQ(cublasGetMatrix(3, 2, sizeof(double), dev, 3, back.data(), 5),
+            CUBLAS_STATUS_SUCCESS);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(back[static_cast<std::size_t>(i + j * 5)],
+                       host[static_cast<std::size_t>(i + j * 5)]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(back[3], -1.0);  // outside the submatrix untouched
+  EXPECT_EQ(cublasSetMatrix(5, 2, sizeof(double), host.data(), 3, dev, 5),
+            CUBLAS_STATUS_INVALID_VALUE);  // lda < rows
+  cublasFree(dev);
+}
+
+TEST_F(BlasTest, ZgemmComplexNumerics) {
+  using Z = std::complex<double>;
+  const std::vector<Z> a = {{1, 1}, {0, 2}};   // 1x2^H? use as 2x1 and 1x2
+  const std::vector<Z> b = {{2, 0}, {1, -1}};
+  std::vector<Z> c = {{0, 0}};
+  std::vector<Z> expect = c;
+  refblas::gemm(refblas::Trans::kT, refblas::Trans::kN, 1, 1, 2, Z(1, 0), a.data(), 2,
+                b.data(), 2, Z(0, 0), expect.data(), 1);
+  Z* da = upload(a);
+  Z* db = upload(b);
+  Z* dc = upload(c);
+  cublasZgemm('T', 'N', 1, 1, 2, {1, 0}, reinterpret_cast<cuDoubleComplex*>(da), 2,
+              reinterpret_cast<cuDoubleComplex*>(db), 2, {0, 0},
+              reinterpret_cast<cuDoubleComplex*>(dc), 1);
+  const auto got = download(dc, 1);
+  EXPECT_NEAR(got[0].real(), expect[0].real(), 1e-12);
+  EXPECT_NEAR(got[0].imag(), expect[0].imag(), 1e-12);
+  cublasFree(da);
+  cublasFree(db);
+  cublasFree(dc);
+}
+
+TEST_F(BlasTest, ErrorStateIsStickyUntilRead) {
+  EXPECT_EQ(cublasGetError(), CUBLAS_STATUS_SUCCESS);
+  void* dev = nullptr;
+  EXPECT_EQ(cublasAlloc(-1, 8, &dev), CUBLAS_STATUS_INVALID_VALUE);
+  EXPECT_EQ(cublasGetError(), CUBLAS_STATUS_INVALID_VALUE);
+  EXPECT_EQ(cublasGetError(), CUBLAS_STATUS_SUCCESS);  // cleared by the read
+}
+
+TEST_F(BlasTest, ThunkingMatchesHostBlas) {
+  hostblas::cpu_model().execute_numerics = true;
+  constexpr int kN = 12;
+  simx::Xoshiro256 rng(31);
+  std::vector<double> a(kN * kN);
+  std::vector<double> b(kN * kN);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> c_thunk(kN * kN, 0.25);
+  std::vector<double> c_host = c_thunk;
+  cublasthunk::dgemm('N', 'N', kN, kN, kN, 2.0, a.data(), kN, b.data(), kN, 0.5,
+                     c_thunk.data(), kN);
+  hostblas::dgemm('N', 'N', kN, kN, kN, 2.0, a.data(), kN, b.data(), kN, 0.5,
+                  c_host.data(), kN);
+  for (int i = 0; i < kN * kN; ++i) {
+    EXPECT_NEAR(c_thunk[static_cast<std::size_t>(i)],
+                c_host[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+TEST_F(BlasTest, ThunkingTrsmSolves) {
+  constexpr int kM = 8;
+  std::vector<double> a(kM * kM, 0.0);
+  simx::Xoshiro256 rng(41);
+  for (int j = 0; j < kM; ++j) {
+    for (int i = j; i < kM; ++i) {
+      a[static_cast<std::size_t>(i + j * kM)] = (i == j) ? 3.0 : rng.uniform(-0.5, 0.5);
+    }
+  }
+  std::vector<double> b(kM * 2);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  std::vector<double> x = b;
+  cublasthunk::dtrsm('L', 'L', 'N', 'N', kM, 2, 1.0, a.data(), kM, x.data(), kM);
+  // Check A·X == B.
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < kM; ++i) {
+      double acc = 0.0;
+      for (int p = 0; p <= i; ++p) {
+        acc += a[static_cast<std::size_t>(i + p * kM)] *
+               x[static_cast<std::size_t>(p + j * kM)];
+      }
+      EXPECT_NEAR(acc, b[static_cast<std::size_t>(i + j * kM)], 1e-9);
+    }
+  }
+}
+
+// --- cufftsim -------------------------------------------------------------------
+
+TEST(FftCore, ImpulseTransformsToConstant) {
+  std::vector<std::complex<double>> data(8, {0, 0});
+  data[0] = {1, 0};
+  fftcore::fft_1d(data.data(), 8, 1, -1);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftCore, ForwardInverseRoundTrip) {
+  for (const int n : {4, 16, 64, 12 /* non-pow2 fallback */}) {
+    std::vector<std::complex<double>> data(static_cast<std::size_t>(n));
+    simx::Xoshiro256 rng(static_cast<std::uint64_t>(n));
+    for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const auto original = data;
+    fftcore::fft_1d(data.data(), n, 1, -1);
+    fftcore::fft_1d(data.data(), n, 1, +1);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[static_cast<std::size_t>(i)].real(),
+                  n * original[static_cast<std::size_t>(i)].real(), 1e-9)
+          << "n=" << n;
+      EXPECT_NEAR(data[static_cast<std::size_t>(i)].imag(),
+                  n * original[static_cast<std::size_t>(i)].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FftCore, MultiDimensionalRoundTrip) {
+  const int dims[3] = {4, 8, 2};
+  std::vector<std::complex<double>> data(4 * 8 * 2);
+  simx::Xoshiro256 rng(77);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fftcore::fft_nd(data.data(), dims, 3, -1);
+  fftcore::fft_nd(data.data(), dims, 3, +1);
+  const double scale = 4.0 * 8.0 * 2.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), scale * original[i].real(), 1e-8);
+  }
+}
+
+class CufftTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cusim::reset();
+    simx::reset_default_context();
+  }
+};
+
+TEST_F(CufftTest, PlanLifecycleAndErrors) {
+  cufftHandle plan = 0;
+  EXPECT_EQ(cufftPlan1d(nullptr, 8, CUFFT_Z2Z, 1), CUFFT_INVALID_VALUE);
+  EXPECT_EQ(cufftPlan1d(&plan, 0, CUFFT_Z2Z, 1), CUFFT_INVALID_SIZE);
+  EXPECT_EQ(cufftPlan1d(&plan, 8, static_cast<cufftType>(0x99), 1), CUFFT_INVALID_TYPE);
+  ASSERT_EQ(cufftPlan1d(&plan, 8, CUFFT_Z2Z, 2), CUFFT_SUCCESS);
+  EXPECT_EQ(cufftDestroy(plan), CUFFT_SUCCESS);
+  EXPECT_EQ(cufftDestroy(plan), CUFFT_INVALID_PLAN);
+  int v = 0;
+  EXPECT_EQ(cufftGetVersion(&v), CUFFT_SUCCESS);
+  EXPECT_EQ(v, 3010);
+}
+
+TEST_F(CufftTest, Z2ZBatchedRoundTrip) {
+  cufftHandle plan = 0;
+  ASSERT_EQ(cufftPlan1d(&plan, 16, CUFFT_Z2Z, 3), CUFFT_SUCCESS);
+  std::vector<std::complex<double>> data(48);
+  simx::Xoshiro256 rng(88);
+  for (auto& z : data) z = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  auto* raw = reinterpret_cast<cufftDoubleComplex*>(data.data());
+  ASSERT_EQ(cufftExecZ2Z(plan, raw, raw, CUFFT_FORWARD), CUFFT_SUCCESS);
+  ASSERT_EQ(cufftExecZ2Z(plan, raw, raw, CUFFT_INVERSE), CUFFT_SUCCESS);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), 16.0 * original[i].real(), 1e-9);
+  }
+  EXPECT_EQ(cufftExecZ2Z(plan, raw, raw, 3), CUFFT_INVALID_VALUE);  // bad direction
+  cufftDestroy(plan);
+}
+
+TEST_F(CufftTest, TypeMismatchIsRejected) {
+  cufftHandle plan = 0;
+  ASSERT_EQ(cufftPlan1d(&plan, 8, CUFFT_R2C, 1), CUFFT_SUCCESS);
+  cufftDoubleComplex dummy[8] = {};
+  EXPECT_EQ(cufftExecZ2Z(plan, dummy, dummy, CUFFT_FORWARD), CUFFT_INVALID_TYPE);
+  cufftDestroy(plan);
+}
+
+TEST_F(CufftTest, D2ZThenZ2DRecoversRealSignal) {
+  cufftHandle fwd = 0;
+  cufftHandle inv = 0;
+  ASSERT_EQ(cufftPlan2d(&fwd, 8, 8, CUFFT_D2Z), CUFFT_SUCCESS);
+  ASSERT_EQ(cufftPlan2d(&inv, 8, 8, CUFFT_Z2D), CUFFT_SUCCESS);
+  std::vector<double> real(64);
+  simx::Xoshiro256 rng(99);
+  for (auto& v : real) v = rng.uniform(-1, 1);
+  std::vector<std::complex<double>> spectrum(64);
+  std::vector<double> back(64);
+  ASSERT_EQ(cufftExecD2Z(fwd, real.data(),
+                         reinterpret_cast<cufftDoubleComplex*>(spectrum.data())),
+            CUFFT_SUCCESS);
+  ASSERT_EQ(cufftExecZ2D(inv, reinterpret_cast<cufftDoubleComplex*>(spectrum.data()),
+                         back.data()),
+            CUFFT_SUCCESS);
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    EXPECT_NEAR(back[i], 64.0 * real[i], 1e-9);
+  }
+  cufftDestroy(fwd);
+  cufftDestroy(inv);
+}
+
+TEST_F(CufftTest, ExecChargesDeviceTime) {
+  cufftHandle plan = 0;
+  ASSERT_EQ(cufftPlan3d(&plan, 32, 32, 32, CUFFT_Z2Z), CUFFT_SUCCESS);
+  std::vector<std::complex<double>> grid(32768);
+  auto* raw = reinterpret_cast<cufftDoubleComplex*>(grid.data());
+  cudaThreadSynchronize();  // absorb the one-time context init cost
+  const double before = simx::virtual_now();
+  ASSERT_EQ(cufftExecZ2Z(plan, raw, raw, CUFFT_FORWARD), CUFFT_SUCCESS);
+  cudaThreadSynchronize();
+  const double elapsed = simx::virtual_now() - before;
+  EXPECT_GT(elapsed, 1e-6);   // a 32³ FFT is not free...
+  EXPECT_LT(elapsed, 0.01);   // ...but far below a millisecond-scale kernel
+  cufftDestroy(plan);
+}
+
+}  // namespace

@@ -1,0 +1,380 @@
+// Unit tests for cudasim: device management, memory, error model, streams,
+// events, the launch ABI, and driver-API parity.  (Timing-model behaviour
+// is covered separately in test_cudasim_timing.cpp.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda.h"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+class CudaSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cusim::reset();
+    simx::reset_default_context();
+  }
+};
+
+TEST_F(CudaSimTest, DeviceDiscovery) {
+  int count = -1;
+  ASSERT_EQ(cudaGetDeviceCount(&count), cudaSuccess);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(cudaGetDeviceCount(nullptr), cudaErrorInvalidValue);
+
+  cudaDeviceProp prop{};
+  ASSERT_EQ(cudaGetDeviceProperties(&prop, 0), cudaSuccess);
+  EXPECT_STREQ(prop.name, "Tesla C2050");
+  EXPECT_EQ(prop.major, 2);
+  EXPECT_EQ(prop.totalGlobalMem, 3ULL << 30);
+  EXPECT_EQ(cudaGetDeviceProperties(&prop, 5), cudaErrorInvalidValue);
+
+  EXPECT_EQ(cudaSetDevice(0), cudaSuccess);
+  EXPECT_EQ(cudaSetDevice(3), cudaErrorInvalidValue);
+  int dev = -1;
+  EXPECT_EQ(cudaGetDevice(&dev), cudaSuccess);
+  EXPECT_EQ(dev, 0);
+}
+
+TEST_F(CudaSimTest, MultiGpuTopology) {
+  cusim::Topology topo;
+  topo.gpus_per_node = 3;
+  cusim::configure(topo);
+  int count = 0;
+  ASSERT_EQ(cudaGetDeviceCount(&count), cudaSuccess);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(cudaSetDevice(2), cudaSuccess);
+}
+
+TEST_F(CudaSimTest, VersionsAndErrors) {
+  int v = 0;
+  EXPECT_EQ(cudaRuntimeGetVersion(&v), cudaSuccess);
+  EXPECT_EQ(v, 3010);
+  EXPECT_EQ(cudaDriverGetVersion(&v), cudaSuccess);
+  EXPECT_EQ(v, 3010);
+  EXPECT_STREQ(cudaGetErrorString(cudaSuccess), "no error");
+  EXPECT_STREQ(cudaGetErrorString(cudaErrorMemoryAllocation), "out of memory");
+}
+
+TEST_F(CudaSimTest, LastErrorSemantics) {
+  EXPECT_EQ(cudaGetLastError(), cudaSuccess);
+  EXPECT_EQ(cudaFree(reinterpret_cast<void*>(0xdead)), cudaErrorInvalidDevicePointer);
+  EXPECT_EQ(cudaPeekAtLastError(), cudaErrorInvalidDevicePointer);  // peek keeps it
+  EXPECT_EQ(cudaGetLastError(), cudaErrorInvalidDevicePointer);     // get clears it
+  EXPECT_EQ(cudaGetLastError(), cudaSuccess);
+}
+
+TEST_F(CudaSimTest, MallocFreeAndAccounting) {
+  void* a = nullptr;
+  void* b = nullptr;
+  ASSERT_EQ(cudaMalloc(&a, 1 << 20), cudaSuccess);
+  ASSERT_EQ(cudaMalloc(&b, 1 << 20), cudaSuccess);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(cusim::device_bytes_in_use(0, 0), 2ULL << 20);
+
+  std::size_t free_b = 0;
+  std::size_t total_b = 0;
+  ASSERT_EQ(cudaMemGetInfo(&free_b, &total_b), cudaSuccess);
+  EXPECT_EQ(total_b, 3ULL << 30);
+  EXPECT_EQ(free_b, (3ULL << 30) - (2ULL << 20));
+
+  EXPECT_EQ(cudaFree(a), cudaSuccess);
+  EXPECT_EQ(cusim::device_bytes_in_use(0, 0), 1ULL << 20);
+  EXPECT_EQ(cudaFree(a), cudaErrorInvalidDevicePointer);  // double free
+  EXPECT_EQ(cudaFree(nullptr), cudaSuccess);              // no-op per CUDA
+  EXPECT_EQ(cudaFree(b), cudaSuccess);
+}
+
+TEST_F(CudaSimTest, MallocRespectsCapacity) {
+  void* p = nullptr;
+  EXPECT_EQ(cudaMalloc(&p, 4ULL << 30), cudaErrorMemoryAllocation);  // > 3 GB
+  ASSERT_EQ(cudaMalloc(&p, 2ULL << 30), cudaSuccess);
+  void* q = nullptr;
+  EXPECT_EQ(cudaMalloc(&q, 2ULL << 30), cudaErrorMemoryAllocation);  // would exceed
+  EXPECT_EQ(cudaFree(p), cudaSuccess);
+  ASSERT_EQ(cudaMalloc(&q, 2ULL << 30), cudaSuccess);
+  EXPECT_EQ(cudaFree(q), cudaSuccess);
+}
+
+TEST_F(CudaSimTest, MemcpyMovesData) {
+  constexpr int kN = 1000;
+  std::vector<int> src(kN);
+  std::vector<int> dst(kN, 0);
+  for (int i = 0; i < kN; ++i) src[static_cast<std::size_t>(i)] = i * 3;
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, kN * sizeof(int)), cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dev, src.data(), kN * sizeof(int), cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dst.data(), dev, kN * sizeof(int), cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(src, dst);
+  cudaFree(dev);
+}
+
+TEST_F(CudaSimTest, MemcpyValidatesDevicePointers) {
+  char host[64];
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, 64), cudaSuccess);
+  // Out-of-range device access is rejected.
+  EXPECT_EQ(cudaMemcpy(static_cast<char*>(dev) + 32, host, 64, cudaMemcpyHostToDevice),
+            cudaErrorInvalidDevicePointer);
+  EXPECT_EQ(cudaMemcpy(host, host, 64, cudaMemcpyDeviceToHost),
+            cudaErrorInvalidDevicePointer);
+  EXPECT_EQ(cudaMemcpy(dev, host, 64, static_cast<cudaMemcpyKind>(99)),
+            cudaErrorInvalidMemcpyDirection);
+  EXPECT_EQ(cudaMemcpy(nullptr, host, 64, cudaMemcpyHostToDevice), cudaErrorInvalidValue);
+  // Interior in-range copies are fine.
+  EXPECT_EQ(cudaMemcpy(static_cast<char*>(dev) + 16, host, 32, cudaMemcpyHostToDevice),
+            cudaSuccess);
+  cudaFree(dev);
+}
+
+TEST_F(CudaSimTest, MemcpyDtoDAndHtoH) {
+  void* a = nullptr;
+  void* b = nullptr;
+  ASSERT_EQ(cudaMalloc(&a, 128), cudaSuccess);
+  ASSERT_EQ(cudaMalloc(&b, 128), cudaSuccess);
+  char host_src[128];
+  char host_dst[128] = {};
+  std::memset(host_src, 0x5a, sizeof host_src);
+  ASSERT_EQ(cudaMemcpy(a, host_src, 128, cudaMemcpyHostToDevice), cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(b, a, 128, cudaMemcpyDeviceToDevice), cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(host_dst, b, 128, cudaMemcpyDeviceToHost), cudaSuccess);
+  EXPECT_EQ(std::memcmp(host_src, host_dst, 128), 0);
+  char other[128] = {};
+  ASSERT_EQ(cudaMemcpy(other, host_src, 128, cudaMemcpyHostToHost), cudaSuccess);
+  EXPECT_EQ(std::memcmp(other, host_src, 128), 0);
+  cudaFree(a);
+  cudaFree(b);
+}
+
+TEST_F(CudaSimTest, Memcpy2DHonoursPitches) {
+  void* dev = nullptr;
+  std::size_t pitch = 0;
+  ASSERT_EQ(cudaMallocPitch(&dev, &pitch, 100, 4), cudaSuccess);
+  EXPECT_GE(pitch, 100u);
+  EXPECT_EQ(pitch % 256, 0u);
+  std::vector<char> host(100 * 4);
+  for (std::size_t i = 0; i < host.size(); ++i) host[i] = static_cast<char>(i);
+  ASSERT_EQ(cudaMemcpy2D(dev, pitch, host.data(), 100, 100, 4, cudaMemcpyHostToDevice),
+            cudaSuccess);
+  std::vector<char> back(100 * 4, 0);
+  ASSERT_EQ(cudaMemcpy2D(back.data(), 100, dev, pitch, 100, 4, cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(cudaMemcpy2D(dev, 50, host.data(), 100, 100, 4, cudaMemcpyHostToDevice),
+            cudaErrorInvalidValue);  // width > dpitch
+  cudaFree(dev);
+}
+
+TEST_F(CudaSimTest, MemsetWritesDeviceMemory) {
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, 256), cudaSuccess);
+  ASSERT_EQ(cudaMemset(dev, 0x7f, 256), cudaSuccess);
+  char host[256] = {};
+  ASSERT_EQ(cudaMemcpy(host, dev, 256, cudaMemcpyDeviceToHost), cudaSuccess);
+  for (const char c : host) EXPECT_EQ(c, 0x7f);
+  EXPECT_EQ(cudaMemset(reinterpret_cast<void*>(0x10), 0, 8),
+            cudaErrorInvalidDevicePointer);
+  cudaFree(dev);
+}
+
+TEST_F(CudaSimTest, HostAllocations) {
+  void* p = nullptr;
+  ASSERT_EQ(cudaMallocHost(&p, 4096), cudaSuccess);
+  std::memset(p, 1, 4096);  // must be writable
+  EXPECT_EQ(cudaFreeHost(p), cudaSuccess);
+  EXPECT_EQ(cudaFreeHost(p), cudaErrorInvalidValue);  // double free detected
+  EXPECT_EQ(cudaFreeHost(nullptr), cudaSuccess);
+  ASSERT_EQ(cudaHostAlloc(&p, 64, 0), cudaSuccess);
+  EXPECT_EQ(cudaFreeHost(p), cudaSuccess);
+}
+
+TEST_F(CudaSimTest, LaunchAbiRequiresConfiguration) {
+  static const cusim::KernelDef kDef{"abi_kernel", {}, nullptr};
+  // cudaLaunch without cudaConfigureCall fails.
+  EXPECT_EQ(cudaLaunch(&kDef), cudaErrorMissingConfiguration);
+  // cudaSetupArgument without configuration fails too.
+  int arg = 0;
+  EXPECT_EQ(cudaSetupArgument(&arg, sizeof arg, 0), cudaErrorMissingConfiguration);
+  ASSERT_EQ(cudaConfigureCall(dim3(1), dim3(32), 0, nullptr), cudaSuccess);
+  EXPECT_EQ(cudaSetupArgument(&arg, sizeof arg, 0), cudaSuccess);
+  EXPECT_EQ(cudaLaunch(&kDef), cudaSuccess);
+  // Configuration is consumed: a second launch needs a new configure.
+  EXPECT_EQ(cudaLaunch(&kDef), cudaErrorMissingConfiguration);
+}
+
+TEST_F(CudaSimTest, LaunchValidatesGeometry) {
+  static const cusim::KernelDef kDef{"geom_kernel", {}, nullptr};
+  ASSERT_EQ(cudaConfigureCall(dim3(1), dim3(2048), 0, nullptr), cudaSuccess);
+  EXPECT_EQ(cudaLaunch(&kDef), cudaErrorInvalidValue);  // > 1024 threads/block
+  ASSERT_EQ(cudaConfigureCall(dim3(1), dim3(0), 0, nullptr), cudaSuccess);
+  EXPECT_EQ(cudaLaunch(&kDef), cudaErrorInvalidValue);
+  EXPECT_EQ(cudaLaunch(nullptr), cudaErrorMissingConfiguration);
+}
+
+TEST_F(CudaSimTest, KernelBodyRunsWithArguments) {
+  static const cusim::KernelDef kDef{"saxpy_like", {}, nullptr};
+  std::vector<float> data(100, 2.0F);
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, data.size() * sizeof(float)), cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(dev, data.data(), data.size() * sizeof(float),
+                       cudaMemcpyHostToDevice),
+            cudaSuccess);
+  ASSERT_EQ(cusim::launch(
+                kDef, dim3(4), dim3(25),
+                [](const cusim::LaunchGeom& g, float* x, float a, int n) {
+                  EXPECT_EQ(g.total_threads(), 100u);
+                  for (int i = 0; i < n; ++i) x[i] *= a;
+                },
+                static_cast<float*>(dev), 3.0F, 100),
+            cudaSuccess);
+  ASSERT_EQ(cudaMemcpy(data.data(), dev, data.size() * sizeof(float),
+                       cudaMemcpyDeviceToHost),
+            cudaSuccess);
+  for (const float v : data) EXPECT_FLOAT_EQ(v, 6.0F);
+  cudaFree(dev);
+}
+
+TEST_F(CudaSimTest, KernelNameLookup) {
+  static const cusim::KernelDef kDef{"my_special_kernel", {}, nullptr};
+  EXPECT_STREQ(cusim::kernel_name(&kDef), "<unknown>");  // not launched yet
+  ASSERT_EQ(cusim::launch_timed(kDef, dim3(1), dim3(1)), cudaSuccess);
+  EXPECT_STREQ(cusim::kernel_name(&kDef), "my_special_kernel");
+}
+
+TEST_F(CudaSimTest, StreamsCreateQueryDestroy) {
+  cudaStream_t s = nullptr;
+  ASSERT_EQ(cudaStreamCreate(&s), cudaSuccess);
+  EXPECT_EQ(cusim::stream_index(s), 1);
+  EXPECT_EQ(cudaStreamQuery(s), cudaSuccess);  // empty stream is ready
+  EXPECT_EQ(cudaStreamSynchronize(s), cudaSuccess);
+  EXPECT_EQ(cudaStreamDestroy(s), cudaSuccess);
+  EXPECT_EQ(cudaStreamDestroy(s), cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(cudaStreamCreate(nullptr), cudaErrorInvalidValue);
+  EXPECT_EQ(cusim::stream_index(nullptr), 0);  // default stream
+}
+
+TEST_F(CudaSimTest, EventLifecycleAndErrors) {
+  cudaEvent_t e = nullptr;
+  ASSERT_EQ(cudaEventCreate(&e), cudaSuccess);
+  EXPECT_EQ(cudaEventQuery(e), cudaSuccess);  // unrecorded event is "complete"
+  float ms = -1.0F;
+  cudaEvent_t e2 = nullptr;
+  ASSERT_EQ(cudaEventCreate(&e2), cudaSuccess);
+  // Elapsed time between unrecorded events is an error.
+  EXPECT_EQ(cudaEventElapsedTime(&ms, e, e2), cudaErrorInvalidResourceHandle);
+  ASSERT_EQ(cudaEventRecord(e, nullptr), cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(e2, nullptr), cudaSuccess);
+  ASSERT_EQ(cudaEventSynchronize(e2), cudaSuccess);
+  ASSERT_EQ(cudaEventElapsedTime(&ms, e, e2), cudaSuccess);
+  EXPECT_GE(ms, 0.0F);
+  EXPECT_EQ(cudaEventDestroy(e), cudaSuccess);
+  EXPECT_EQ(cudaEventDestroy(e), cudaErrorInvalidResourceHandle);
+  EXPECT_EQ(cudaEventRecord(e, nullptr), cudaErrorInvalidResourceHandle);
+  cudaEvent_t flagged = nullptr;
+  ASSERT_EQ(cudaEventCreateWithFlags(&flagged, cudaEventDisableTiming), cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(flagged, nullptr), cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(e2, nullptr), cudaSuccess);
+  EXPECT_EQ(cudaEventElapsedTime(&ms, flagged, e2), cudaErrorInvalidResourceHandle);
+  cudaEventDestroy(e2);
+  cudaEventDestroy(flagged);
+}
+
+TEST_F(CudaSimTest, DriverApiParity) {
+  EXPECT_EQ(cuInit(0), CUDA_SUCCESS);
+  int count = 0;
+  EXPECT_EQ(cuDeviceGetCount(&count), CUDA_SUCCESS);
+  EXPECT_EQ(count, 1);
+  CUdevice dev = -1;
+  EXPECT_EQ(cuDeviceGet(&dev, 0), CUDA_SUCCESS);
+  EXPECT_EQ(cuDeviceGet(&dev, 9), CUDA_ERROR_INVALID_VALUE);
+  char name[64];
+  EXPECT_EQ(cuDeviceGetName(name, sizeof name, dev), CUDA_SUCCESS);
+  EXPECT_STREQ(name, "Tesla C2050");
+  int major = 0;
+  int minor = -1;
+  EXPECT_EQ(cuDeviceComputeCapability(&major, &minor, dev), CUDA_SUCCESS);
+  EXPECT_EQ(major, 2);
+  std::size_t mem = 0;
+  EXPECT_EQ(cuDeviceTotalMem(&mem, dev), CUDA_SUCCESS);
+  EXPECT_EQ(mem, 3ULL << 30);
+
+  CUcontext ctx = nullptr;
+  EXPECT_EQ(cuCtxCreate(&ctx, 0, dev), CUDA_SUCCESS);
+
+  CUdeviceptr dptr = 0;
+  ASSERT_EQ(cuMemAlloc(&dptr, 256), CUDA_SUCCESS);
+  std::vector<char> host(256, 0x2b);
+  std::vector<char> back(256, 0);
+  EXPECT_EQ(cuMemcpyHtoD(dptr, host.data(), 256), CUDA_SUCCESS);
+  EXPECT_EQ(cuMemcpyDtoH(back.data(), dptr, 256), CUDA_SUCCESS);
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(cuMemsetD8(dptr, 0x11, 256), CUDA_SUCCESS);
+  EXPECT_EQ(cuCtxSynchronize(), CUDA_SUCCESS);
+  EXPECT_EQ(cuMemFree(dptr), CUDA_SUCCESS);
+  EXPECT_EQ(cuMemFree(dptr), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+}
+
+TEST_F(CudaSimTest, DriverLaunchKernel) {
+  static const cusim::KernelDef kDef{"driver_kernel", {}, nullptr};
+  CUstream stream = nullptr;
+  ASSERT_EQ(cuStreamCreate(&stream, 0), CUDA_SUCCESS);
+  bool ran = false;
+  cusim::detail_set_pending_body([&](const cusim::LaunchGeom& g) {
+    ran = true;
+    EXPECT_EQ(g.grid.x, 4u);
+    EXPECT_EQ(g.block.x, 64u);
+  });
+  ASSERT_EQ(cuLaunchKernel(&kDef, 4, 1, 1, 64, 1, 1, 0, stream, nullptr, nullptr),
+            CUDA_SUCCESS);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(cuStreamSynchronize(stream), CUDA_SUCCESS);
+  EXPECT_EQ(cuStreamDestroy(stream), CUDA_SUCCESS);
+}
+
+TEST_F(CudaSimTest, SimStatsCount) {
+  const cusim::SimStats before = cusim::stats();
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, 64), cudaSuccess);
+  char h[64] = {};
+  cudaMemcpy(dev, h, 64, cudaMemcpyHostToDevice);
+  cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+  static const cusim::KernelDef kDef{"stats_kernel", {}, nullptr};
+  cusim::launch_timed(kDef, dim3(1), dim3(1));
+  cudaFree(dev);
+  const cusim::SimStats after = cusim::stats();
+  EXPECT_EQ(after.kernels_launched - before.kernels_launched, 1u);
+  EXPECT_EQ(after.memcpys - before.memcpys, 2u);
+  EXPECT_EQ(after.bytes_h2d - before.bytes_h2d, 64u);
+  EXPECT_EQ(after.bytes_d2h - before.bytes_d2h, 64u);
+  EXPECT_GT(after.api_calls, before.api_calls);
+}
+
+TEST_F(CudaSimTest, ModelOnlyModeSkipsDataButKeepsAccounting) {
+  cusim::set_execute_bodies(false);
+  void* dev = nullptr;
+  // A huge "allocation" succeeds without real backing.
+  ASSERT_EQ(cudaMalloc(&dev, 2ULL << 30), cudaSuccess);
+  EXPECT_EQ(cusim::device_bytes_in_use(0, 0), 2ULL << 30);
+  char h[16] = {1, 2, 3};
+  EXPECT_EQ(cudaMemcpy(dev, h, 1 << 20, cudaMemcpyHostToDevice), cudaSuccess);
+  bool body_ran = false;
+  static const cusim::KernelDef kDef{"model_only", {}, nullptr};
+  cusim::detail_set_pending_body([&](const cusim::LaunchGeom&) { body_ran = true; });
+  ASSERT_EQ(cudaConfigureCall(dim3(1), dim3(1), 0, nullptr), cudaSuccess);
+  ASSERT_EQ(cudaLaunch(&kDef), cudaSuccess);
+  EXPECT_FALSE(body_ran);
+  EXPECT_EQ(cudaFree(dev), cudaSuccess);
+  cusim::set_execute_bodies(true);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Failure-injection tests: the stack must degrade cleanly — errors surface
+// as error codes (not crashes), monitoring keeps a consistent profile, and
+// partially failed workloads still finalize.  Linked with monitoring so
+// wrappers are on the failure paths too.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/hpl.hpp"
+#include "cublassim/cublas.h"
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cusim::Topology topo;
+    topo.timing.init_cost = 0.0;
+    cusim::configure(topo);
+    simx::reset_default_context();
+    ipm::job_begin(ipm::Config{}, "./failures");
+  }
+  void TearDown() override { ipm::job_end(); }
+};
+
+TEST_F(FailureTest, DeviceOomMidRunIsRecoverable) {
+  // Exhaust the 3 GB device, observe the error, free, continue normally.
+  std::vector<void*> chunks;
+  for (;;) {
+    void* p = nullptr;
+    if (cudaMalloc(&p, 512ULL << 20) != cudaSuccess) break;
+    chunks.push_back(p);
+  }
+  EXPECT_EQ(chunks.size(), 6u);  // 6 x 512 MiB fit in 3 GiB
+  EXPECT_EQ(cudaGetLastError(), cudaErrorMemoryAllocation);
+  // Monitoring recorded the failing call too (the wrapper times the error
+  // path like any other call).
+  for (void* p : chunks) EXPECT_EQ(cudaFree(p), cudaSuccess);
+  void* p = nullptr;
+  EXPECT_EQ(cudaMalloc(&p, 512ULL << 20), cudaSuccess);
+  cudaFree(p);
+}
+
+TEST_F(FailureTest, FailedLaunchDoesNotPoisonTheKtt) {
+  static const cusim::KernelDef kGood{"good_kernel", {.flops_per_thread = 0,
+                                                      .dram_bytes_per_thread = 0,
+                                                      .serial_iterations = 1,
+                                                      .efficiency = 1,
+                                                      .fixed_us = 100.0,
+                                                      .double_precision = false},
+                                      nullptr};
+  // A launch with an illegal configuration fails...
+  ASSERT_EQ(cudaConfigureCall(dim3(1), dim3(4096), 0, nullptr), cudaSuccess);
+  EXPECT_EQ(cudaLaunch(&kGood), cudaErrorInvalidValue);
+  // ...and valid launches afterwards are timed normally.
+  EXPECT_EQ(cusim::launch_timed(kGood, dim3(1), dim3(32)), cudaSuccess);
+  cudaThreadSynchronize();
+  const ipm::RankProfile p = ipm::rank_finalize();
+  double good_time = 0.0;
+  for (const auto& e : p.events) {
+    if (e.name == "@CUDA_EXEC:good_kernel") good_time += e.tsum;
+  }
+  EXPECT_NEAR(good_time, 100e-6, 20e-6);  // + idle-device bracket overhead
+}
+
+TEST_F(FailureTest, CublasSurvivesAllocationFailure) {
+  ASSERT_EQ(cublasInit(), CUBLAS_STATUS_SUCCESS);
+  void* huge = nullptr;
+  EXPECT_EQ(cublasAlloc(1 << 30, 16, &huge), CUBLAS_STATUS_ALLOC_FAILED);  // 16 GiB
+  EXPECT_EQ(cublasGetError(), CUBLAS_STATUS_ALLOC_FAILED);
+  // The library remains usable.
+  void* ok = nullptr;
+  EXPECT_EQ(cublasAlloc(1024, 8, &ok), CUBLAS_STATUS_SUCCESS);
+  EXPECT_EQ(cublasFree(ok), CUBLAS_STATUS_SUCCESS);
+  cublasShutdown();
+}
+
+TEST_F(FailureTest, MismatchedRecvIsAnError) {
+  MPI_Init(nullptr, nullptr);
+  // Message longer than the receive buffer: MPI_ERR_COUNT (truncation).
+  double big[8] = {};
+  double small_buf[2] = {};
+  ASSERT_EQ(MPI_Send(big, 8, MPI_DOUBLE, 0, 1, MPI_COMM_WORLD), MPI_SUCCESS);
+  EXPECT_EQ(MPI_Recv(small_buf, 2, MPI_DOUBLE, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+            MPI_ERR_COUNT);
+  MPI_Finalize();
+}
+
+TEST_F(FailureTest, HplSurvivesWhenDeviceMemoryIsTight) {
+  // Pre-allocate most of the device, then run HPL sized to *not* fit: the
+  // app must fail with a clean exception, not corrupt state.
+  // Model-only mode: capacity accounting stays exact, the real O(N^3)
+  // arithmetic is skipped (this test is about the failure path).
+  cusim::set_execute_bodies(false);
+  void* hog = nullptr;
+  ASSERT_EQ(cudaMalloc(&hog, 2900ULL << 20), cudaSuccess);
+  MPI_Init(nullptr, nullptr);
+  apps::hpl::Config cfg;
+  cfg.n = 8192;  // needs ~512 MiB of blocks at nb=128, far more than remains
+  cfg.nb = 128;
+  cfg.backend = apps::hpl::Backend::kCublas;
+  EXPECT_THROW((void)apps::hpl::run_rank(cfg), std::runtime_error);
+  MPI_Finalize();
+  EXPECT_EQ(cudaFree(hog), cudaSuccess);
+  // The device is clean again: a small run succeeds.
+  cusim::Topology topo;
+  topo.timing.init_cost = 0.0;
+  cusim::configure(topo);
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "./failures2");
+  MPI_Init(nullptr, nullptr);
+  cfg.n = 256;
+  cfg.nb = 64;
+  EXPECT_NO_THROW((void)apps::hpl::run_rank(cfg));
+  MPI_Finalize();
+  cusim::set_execute_bodies(true);
+}
+
+TEST_F(FailureTest, HashTableOverflowIsVisibleInProfile) {
+  ipm::Config cfg;
+  cfg.table_log2_slots = 4;  // 16 slots: easy to saturate with byte-keyed events
+  ipm::job_begin(cfg, "./tiny_table");
+  void* dev = nullptr;
+  cudaMalloc(&dev, 1 << 20);
+  std::vector<char> host(1 << 20);
+  for (int i = 1; i <= 64; ++i) {
+    cudaMemcpy(dev, host.data(), static_cast<std::size_t>(i) * 1024,
+               cudaMemcpyHostToDevice);  // 64 distinct signatures
+  }
+  cudaFree(dev);
+  const ipm::RankProfile p = ipm::rank_finalize();
+  EXPECT_GT(p.table_overflow, 0u);  // drops happened...
+  EXPECT_FALSE(p.events.empty());   // ...but the profile is still coherent
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Unit and property tests for IPM's fixed-size performance hash table
+// (paper Fig. 1 / §II): insert-or-update semantics, min/max tracking,
+// collision behaviour, overflow accounting, and the never-rehash guarantee.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ipm/hashtable.hpp"
+#include "simcommon/rng.hpp"
+
+namespace {
+
+using ipm::EventKey;
+using ipm::EventStats;
+using ipm::PerfHashTable;
+
+EventKey key_of(std::uint64_t bytes, std::int32_t select = 0) {
+  static const ipm::NameId kName = ipm::intern_name("ht_test_event");
+  return EventKey{kName, 0, bytes, select};
+}
+
+TEST(EventStats, TracksCountSumMinMax) {
+  EventStats st;
+  st.add(3.0);
+  st.add(1.0);
+  st.add(2.0);
+  EXPECT_EQ(st.count, 3u);
+  EXPECT_DOUBLE_EQ(st.tsum, 6.0);
+  EXPECT_DOUBLE_EQ(st.tmin, 1.0);
+  EXPECT_DOUBLE_EQ(st.tmax, 3.0);
+}
+
+TEST(EventKey, EqualityAndHashConsistency) {
+  const EventKey a = key_of(100, 2);
+  const EventKey b = key_of(100, 2);
+  const EventKey c = key_of(101, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(PerfHashTable, UpdateThenFind) {
+  PerfHashTable table(8);
+  EXPECT_TRUE(table.update(key_of(64), 0.5));
+  EXPECT_TRUE(table.update(key_of(64), 1.5));
+  const EventStats* st = table.find(key_of(64));
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->count, 2u);
+  EXPECT_DOUBLE_EQ(st->tsum, 2.0);
+  EXPECT_EQ(table.find(key_of(65)), nullptr);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PerfHashTable, DistinctSignaturesGetDistinctSlots) {
+  PerfHashTable table(10);
+  for (std::uint64_t b = 0; b < 200; ++b) table.update(key_of(b * 8), 1e-6);
+  EXPECT_EQ(table.size(), 200u);
+  EXPECT_EQ(table.overflow(), 0u);
+  for (std::uint64_t b = 0; b < 200; ++b) {
+    ASSERT_NE(table.find(key_of(b * 8)), nullptr) << b;
+  }
+}
+
+TEST(PerfHashTable, OverflowDropsNewKeysButKeepsOldOnes) {
+  PerfHashTable table(4);  // 16 slots, one kept free
+  for (std::uint64_t b = 0; b < 15; ++b) EXPECT_TRUE(table.update(key_of(b), 1.0));
+  EXPECT_EQ(table.size(), 15u);
+  // Table full: a new signature is dropped...
+  EXPECT_FALSE(table.update(key_of(999), 1.0));
+  EXPECT_EQ(table.overflow(), 1u);
+  // ...but existing signatures keep updating.
+  EXPECT_TRUE(table.update(key_of(3), 1.0));
+  EXPECT_EQ(table.find(key_of(3))->count, 2u);
+  EXPECT_EQ(table.find(key_of(999)), nullptr);
+}
+
+TEST(PerfHashTable, ClearResets) {
+  PerfHashTable table(6);
+  for (std::uint64_t b = 0; b < 30; ++b) table.update(key_of(b), 1.0);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.overflow(), 0u);
+  EXPECT_EQ(table.find(key_of(5)), nullptr);
+  EXPECT_TRUE(table.update(key_of(5), 1.0));
+}
+
+TEST(PerfHashTable, ForEachVisitsEverything) {
+  PerfHashTable table(8);
+  for (std::uint64_t b = 0; b < 50; ++b) table.update(key_of(b), 0.25);
+  std::set<std::uint64_t> seen;
+  double total = 0.0;
+  table.for_each([&](const EventKey& k, const EventStats& st) {
+    seen.insert(k.bytes);
+    total += st.tsum;
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_DOUBLE_EQ(total, 50 * 0.25);
+}
+
+TEST(PerfHashTable, SizeClampedToSaneRange) {
+  PerfHashTable tiny(1);
+  EXPECT_EQ(tiny.capacity(), 16u);  // clamped up to 2^4
+  PerfHashTable big(30);
+  EXPECT_EQ(big.capacity(), 1u << 24);  // clamped down to 2^24
+}
+
+// Property sweep: for any fill level below capacity, every inserted key is
+// retrievable with exact statistics (open addressing never loses entries).
+class HashTableProperty : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(HashTableProperty, InsertedKeysAreAlwaysRetrievable) {
+  const auto [bits, n_keys] = GetParam();
+  PerfHashTable table(bits);
+  simx::Xoshiro256 rng(static_cast<std::uint64_t>(bits) * 1000 + n_keys);
+  std::set<std::uint64_t> keys;
+  while (static_cast<int>(keys.size()) < n_keys) keys.insert(rng() % 1000000);
+  if (static_cast<std::size_t>(n_keys) >= table.capacity()) {
+    // Overfull regime: the table must saturate at capacity-1, count every
+    // drop, and never lose an entry it accepted.
+    std::size_t accepted = 0;
+    for (const std::uint64_t b : keys) {
+      if (table.update(key_of(b), 1.0)) ++accepted;
+    }
+    EXPECT_EQ(accepted, table.capacity() - 1);
+    EXPECT_EQ(table.overflow(), keys.size() - accepted);
+    std::size_t found = 0;
+    for (const std::uint64_t b : keys) {
+      if (table.find(key_of(b)) != nullptr) ++found;
+    }
+    EXPECT_EQ(found, accepted);
+    return;
+  }
+  for (const std::uint64_t b : keys) {
+    ASSERT_TRUE(table.update(key_of(b), 1.0));
+    ASSERT_TRUE(table.update(key_of(b), 2.0));
+  }
+  EXPECT_EQ(table.overflow(), 0u);
+  for (const std::uint64_t b : keys) {
+    const EventStats* st = table.find(key_of(b));
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->count, 2u);
+    EXPECT_DOUBLE_EQ(st->tsum, 3.0);
+    EXPECT_DOUBLE_EQ(st->tmin, 1.0);
+    EXPECT_DOUBLE_EQ(st->tmax, 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HashTableProperty,
+    ::testing::Combine(::testing::Values(4U, 6U, 8U, 10U, 12U),
+                       ::testing::Values(1, 10, 14, 100, 500, 1000)));
+
+TEST(NameInterning, StableIdsAndReverseLookup) {
+  const ipm::NameId a = ipm::intern_name("unique_name_A");
+  const ipm::NameId b = ipm::intern_name("unique_name_B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ipm::intern_name("unique_name_A"), a);
+  EXPECT_EQ(ipm::name_of(a), "unique_name_A");
+  EXPECT_THROW((void)ipm::name_of(1000000), std::out_of_range);
+}
+
+}  // namespace

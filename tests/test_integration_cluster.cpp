@@ -1,0 +1,181 @@
+// Integration tests: monitored cluster runs end-to-end (MPI wrappers +
+// CUDA wrappers + mpisim + cudasim together), checking the cross-layer
+// invariants the paper's analyses rest on.
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+cusim::KernelDef fixed_kernel(const char* name, double seconds) {
+  cusim::KernelDef def;
+  def.name = name;
+  def.cost.fixed_us = seconds * 1e6;
+  return def;
+}
+
+ipm::JobProfile run_monitored(int ranks, int ranks_per_node,
+                              const std::function<void(int)>& body) {
+  cusim::Topology topo;
+  topo.nodes = (ranks + ranks_per_node - 1) / ranks_per_node;
+  topo.timing.init_cost = 0.05;
+  cusim::configure(topo);
+  ipm::job_begin(ipm::Config{}, "./integration");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = ranks;
+  cluster.ranks_per_node = ranks_per_node;
+  mpisim::run_cluster(cluster, body);
+  return ipm::job_end();
+}
+
+TEST(IntegrationCluster, EveryRankProducesAProfile) {
+  const ipm::JobProfile job = run_monitored(4, 2, [](int) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  ASSERT_EQ(job.nranks, 4);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(job.ranks[static_cast<std::size_t>(r)].rank, r);
+    EXPECT_GT(job.ranks[static_cast<std::size_t>(r)].calls_in("MPI"), 0u);
+  }
+  // Two hosts: dirac00 and dirac01.
+  EXPECT_EQ(job.ranks[0].hostname, "dirac00");
+  EXPECT_EQ(job.ranks[3].hostname, "dirac01");
+}
+
+TEST(IntegrationCluster, MpiTimeReflectsImbalance) {
+  // The classic IPM picture: a compute straggler shows up as MPI time on
+  // every *other* rank.
+  const ipm::JobProfile job = run_monitored(4, 1, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    simx::host_compute(rank == 0 ? 2.0 : 0.01);
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  const double straggler_mpi = job.ranks[0].time_in("MPI");
+  const double waiter_mpi = job.ranks[1].time_in("MPI");
+  EXPECT_LT(straggler_mpi, 0.05);
+  EXPECT_GT(waiter_mpi, 1.8);
+  // Wallclocks align at the barrier.
+  EXPECT_NEAR(job.ranks[0].wallclock(), job.ranks[1].wallclock(), 0.1);
+}
+
+TEST(IntegrationCluster, SharedGpuSerializesAcrossRanks) {
+  // Two ranks on one node share the GPU (paper §I item 5): total kernel
+  // wallclock ≥ sum of both ranks' kernel times.
+  static const cusim::KernelDef kK = fixed_kernel("shared_gpu_kernel", 0.5);
+  const ipm::JobProfile job = run_monitored(2, 2, [](int) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+    cudaThreadSynchronize();
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  // With serialization the slowest rank ends at >= 1.0 s of kernel time.
+  double max_wall = 0.0;
+  for (const auto& r : job.ranks) max_wall = std::max(max_wall, r.wallclock());
+  EXPECT_GE(max_wall, 1.0);
+  // Exclusive GPUs for comparison: the same workload overlaps.
+  const ipm::JobProfile excl = run_monitored(2, 1, [](int) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Barrier(MPI_COMM_WORLD);
+    EXPECT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+    cudaThreadSynchronize();
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  double max_wall_excl = 0.0;
+  for (const auto& r : excl.ranks) max_wall_excl = std::max(max_wall_excl, r.wallclock());
+  EXPECT_LT(max_wall_excl, max_wall - 0.3);
+}
+
+TEST(IntegrationCluster, GpuTimeNeverExceedsPossibleBudget) {
+  // Invariant: per-rank @CUDA_EXEC time on one stream <= wallclock.
+  static const cusim::KernelDef kK = fixed_kernel("budget_kernel", 0.01);
+  const ipm::JobProfile job = run_monitored(3, 1, [](int) {
+    MPI_Init(nullptr, nullptr);
+    void* dev = nullptr;
+    cudaMalloc(&dev, 1024);
+    char h[1024];
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+      cudaMemcpy(h, dev, 1024, cudaMemcpyDeviceToHost);
+    }
+    cudaFree(dev);
+    MPI_Finalize();
+  });
+  for (const auto& r : job.ranks) {
+    EXPECT_LE(r.time_in("GPU"), r.wallclock() + 1e-9);
+    EXPECT_NEAR(r.time_in("GPU"), 0.2, 0.01);
+  }
+}
+
+TEST(IntegrationCluster, MpiWrappersRecordBytes) {
+  const ipm::JobProfile job = run_monitored(2, 1, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    std::vector<double> buf(1000, 1.0);
+    std::vector<double> out(1000);
+    MPI_Allreduce(buf.data(), out.data(), 1000, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    if (rank == 0) {
+      MPI_Send(buf.data(), 500, MPI_DOUBLE, 1, 0, MPI_COMM_WORLD);
+    } else {
+      MPI_Recv(buf.data(), 500, MPI_DOUBLE, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+    }
+    MPI_Finalize();
+  });
+  for (const auto& e : job.ranks[0].events) {
+    if (e.name == "MPI_Allreduce") {
+      EXPECT_EQ(e.bytes, 8000u);
+    }
+    if (e.name == "MPI_Send") {
+      EXPECT_EQ(e.bytes, 4000u);
+      EXPECT_EQ(e.select, 1);  // destination rank recorded as selector
+    }
+  }
+}
+
+TEST(IntegrationCluster, BannerShowsFullClusterHeader) {
+  const ipm::JobProfile job = run_monitored(4, 2, [](int) {
+    MPI_Init(nullptr, nullptr);
+    simx::host_compute(1.0);
+    MPI_Barrier(MPI_COMM_WORLD);
+    MPI_Finalize();
+  });
+  const std::string banner = ipm::banner_string(job);
+  EXPECT_NE(banner.find("mpi_tasks : 4 on 2 nodes"), std::string::npos) << banner;
+  EXPECT_NE(banner.find("wallclock"), std::string::npos);
+  EXPECT_NE(banner.find("%comm"), std::string::npos);
+  EXPECT_NE(banner.find("[total]"), std::string::npos);
+}
+
+TEST(IntegrationCluster, RegionsWorkAcrossLayers) {
+  const ipm::JobProfile job = run_monitored(1, 1, [](int) {
+    MPI_Init(nullptr, nullptr);
+    void* dev = nullptr;
+    cudaMalloc(&dev, 64);
+    ipm::monitor()->region_begin("solve");
+    char h[64];
+    cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+    ipm::monitor()->region_end();
+    cudaFree(dev);
+    MPI_Finalize();
+  });
+  bool found_in_region = false;
+  for (const auto& e : job.ranks[0].events) {
+    if (e.name == "cudaMemcpy(D2H)" && e.region == 1) found_in_region = true;
+  }
+  EXPECT_TRUE(found_in_region);
+  EXPECT_EQ(job.ranks[0].regions.at(1), "solve");
+}
+
+}  // namespace

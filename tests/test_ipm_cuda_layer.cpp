@@ -1,0 +1,348 @@
+// Tests of the CUDA monitoring layer (paper §III): kernel timing table
+// behaviour, completion-check policies, host-idle detection and its
+// conservation property, direction tagging, and the §III-C microbenchmark
+// that identifies the implicitly-blocking call set.  Linked with
+// ipm_enable_monitoring, so the public CUDA calls below are intercepted.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda.h"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/report.hpp"
+#include "ipm_cuda/layer.hpp"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+cusim::KernelDef fixed_kernel(const char* name, double seconds) {
+  cusim::KernelDef def;
+  def.name = name;
+  def.cost.fixed_us = seconds * 1e6;
+  return def;
+}
+
+class LayerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cusim::Topology topo;
+    topo.timing.init_cost = 0.0;
+    cusim::configure(topo);
+    simx::reset_default_context();
+  }
+
+  ipm::JobProfile run_and_collect() { return ipm::job_end(); }
+
+  static const ipm::EventRecord* find(const ipm::RankProfile& r, const std::string& name,
+                                      std::int32_t select = 0) {
+    for (const auto& e : r.events) {
+      if (e.name == name && e.select == select) return &e;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(LayerTest, KernelTimingRecordsPerKernelPerStream) {
+  ipm::job_begin(ipm::Config{}, "./layer");
+  static const cusim::KernelDef kA = fixed_kernel("alpha_kernel", 0.2);
+  static const cusim::KernelDef kB = fixed_kernel("beta_kernel", 0.1);
+  cudaStream_t s1 = nullptr;
+  ASSERT_EQ(cudaStreamCreate(&s1), cudaSuccess);
+  void* dev = nullptr;
+  cudaMalloc(&dev, 64);
+  char h[64];
+  ASSERT_EQ(cusim::launch_timed(kA, dim3(1), dim3(32)), cudaSuccess);
+  ASSERT_EQ(cusim::launch_timed(kB, dim3(1), dim3(32), s1), cudaSuccess);
+  ASSERT_EQ(cusim::launch_timed(kB, dim3(1), dim3(32), s1), cudaSuccess);
+  // The D2H transfer is where the KTT gets polled (paper policy)...
+  cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+  cudaStreamSynchronize(s1);
+  cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+  cudaFree(dev);
+  const ipm::JobProfile job = run_and_collect();
+  const ipm::RankProfile& r = job.ranks.at(0);
+  const auto* alpha = find(r, "@CUDA_EXEC:alpha_kernel", 0);
+  const auto* beta = find(r, "@CUDA_EXEC:beta_kernel", 1);
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->count, 1u);
+  EXPECT_NEAR(alpha->tsum, 0.2, 0.001);
+  EXPECT_EQ(beta->count, 2u);
+  EXPECT_NEAR(beta->tsum, 0.2, 0.001);
+  EXPECT_EQ(find(r, "@CUDA_EXEC:beta_kernel", 0), nullptr);  // right stream only
+}
+
+TEST_F(LayerTest, EventTimingExceedsTrueDurationSlightly) {
+  // Table I property: IPM(event API) >= profiler, by a small constant.
+  ipm::job_begin(ipm::Config{}, "./layer");
+  cusim::set_profiling(true);
+  static const cusim::KernelDef kK = fixed_kernel("accurate_kernel", 0.05);
+  void* dev = nullptr;
+  cudaMalloc(&dev, 64);
+  char h[64];
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+    cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+  }
+  cudaFree(dev);
+  double truth = 0.0;
+  for (const auto& rec : cusim::profile_log()) {
+    if (rec.method == "accurate_kernel") truth += rec.gpu_time;
+  }
+  cusim::set_profiling(false);
+  const ipm::JobProfile job = run_and_collect();
+  const double measured = job.ranks.at(0).time_in("GPU");
+  EXPECT_GT(measured, truth);
+  EXPECT_LT(measured - truth, 10 * 20e-6);  // ~µs-scale bracket overhead per launch
+}
+
+TEST_F(LayerTest, DrainAtFinalizeCatchesUnpolledKernels) {
+  // No D2H transfer ever happens: the finalize hook must still account for
+  // every kernel.
+  ipm::job_begin(ipm::Config{}, "./layer");
+  static const cusim::KernelDef kK = fixed_kernel("unpolled_kernel", 0.01);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+  const ipm::JobProfile job = run_and_collect();
+  const auto* e = find(job.ranks.at(0), "@CUDA_EXEC:unpolled_kernel");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 5u);
+  EXPECT_NEAR(e->tsum, 0.05, 0.001);
+}
+
+TEST_F(LayerTest, KernelTimingCanBeDisabled) {
+  ipm::Config cfg;
+  cfg.kernel_timing = false;
+  ipm::job_begin(cfg, "./layer");
+  static const cusim::KernelDef kK = fixed_kernel("untimed_kernel", 0.01);
+  ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+  const ipm::JobProfile job = run_and_collect();
+  EXPECT_DOUBLE_EQ(job.ranks.at(0).time_in("GPU"), 0.0);
+  // The launch itself is still host-timed.
+  EXPECT_NE(find(job.ranks.at(0), "cudaLaunch"), nullptr);
+}
+
+TEST_F(LayerTest, HostIdleConservation) {
+  // Property: enabling the probe moves waiting time from the D2H row into
+  // @CUDA_HOST_IDLE without changing the total (paper Figs. 5 vs 6).
+  const auto run_once = [this](bool host_idle) {
+    SetUp();
+    ipm::Config cfg;
+    cfg.host_idle = host_idle;
+    ipm::job_begin(cfg, "./layer");
+    static const cusim::KernelDef kK = fixed_kernel("conserve_kernel", 0.3);
+    void* dev = nullptr;
+    cudaMalloc(&dev, 4096);
+    char h[4096];
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+      cudaMemcpy(h, dev, 4096, cudaMemcpyDeviceToHost);
+    }
+    cudaFree(dev);
+    return run_and_collect();
+  };
+  const ipm::JobProfile with = run_once(true);
+  const ipm::JobProfile without = run_once(false);
+  const auto total = [this](const ipm::JobProfile& job) {
+    const auto* d2h = find(job.ranks.at(0), "cudaMemcpy(D2H)");
+    return (d2h != nullptr ? d2h->tsum : 0.0) + job.ranks.at(0).time_in("IDLE");
+  };
+  EXPECT_NEAR(total(with), total(without), 1e-4);
+  EXPECT_GT(with.ranks.at(0).time_in("IDLE"), 1.1);   // ~4 x 0.3 s moved
+  EXPECT_DOUBLE_EQ(without.ranks.at(0).time_in("IDLE"), 0.0);
+  const auto* d2h_with = find(with.ranks.at(0), "cudaMemcpy(D2H)");
+  ASSERT_NE(d2h_with, nullptr);
+  EXPECT_LT(d2h_with->tsum, 0.01);  // collapsed to pure transfer time
+}
+
+TEST_F(LayerTest, HostIdleThresholdSkipsQuiescentTransfers) {
+  ipm::job_begin(ipm::Config{}, "./layer");
+  void* dev = nullptr;
+  cudaMalloc(&dev, 64);
+  char h[64];
+  // No kernel in flight: sync transfers have nothing to wait for.
+  for (int i = 0; i < 8; ++i) cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+  cudaFree(dev);
+  ipm::Monitor* mon = ipm::monitor();
+  ASSERT_NE(mon, nullptr);
+  const ipm::cuda::LayerStats stats = ipm::cuda::layer_stats(*mon);
+  EXPECT_EQ(stats.idle_probes, 8u);
+  EXPECT_EQ(stats.idle_recorded, 0u);  // all below the 5 µs threshold
+  const ipm::JobProfile job = run_and_collect();
+  EXPECT_DOUBLE_EQ(job.ranks.at(0).time_in("IDLE"), 0.0);
+}
+
+TEST_F(LayerTest, DirectionTaggingOnAllMemcpyFamilies) {
+  ipm::job_begin(ipm::Config{}, "./layer");
+  void* a = nullptr;
+  void* b = nullptr;
+  cudaMalloc(&a, 256);
+  cudaMalloc(&b, 256);
+  char h[256];
+  cudaMemcpy(a, h, 256, cudaMemcpyHostToDevice);
+  cudaMemcpy(h, a, 256, cudaMemcpyDeviceToHost);
+  cudaMemcpy(b, a, 256, cudaMemcpyDeviceToDevice);
+  cudaMemcpyAsync(h, a, 256, cudaMemcpyDeviceToHost, nullptr);
+  cudaMemcpyToSymbol(a, h, 64, 0, cudaMemcpyHostToDevice);
+  cudaThreadSynchronize();
+  cudaFree(a);
+  cudaFree(b);
+  const ipm::JobProfile job = run_and_collect();
+  const ipm::RankProfile& r = job.ranks.at(0);
+  EXPECT_NE(find(r, "cudaMemcpy(H2D)"), nullptr);
+  EXPECT_NE(find(r, "cudaMemcpy(D2H)"), nullptr);
+  EXPECT_NE(find(r, "cudaMemcpy(D2D)"), nullptr);
+  EXPECT_NE(find(r, "cudaMemcpyAsync(D2H)"), nullptr);
+  EXPECT_NE(find(r, "cudaMemcpyToSymbol(H2D)"), nullptr);
+  const auto* h2d = find(r, "cudaMemcpy(H2D)");
+  EXPECT_EQ(h2d->bytes, 256u);
+}
+
+TEST_F(LayerTest, DriverApiCallsAreMonitoredToo) {
+  ipm::job_begin(ipm::Config{}, "./layer");
+  CUdeviceptr dptr = 0;
+  ASSERT_EQ(cuMemAlloc(&dptr, 128), CUDA_SUCCESS);
+  char h[128];
+  ASSERT_EQ(cuMemcpyHtoD(dptr, h, 128), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyDtoH(h, dptr, 128), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemFree(dptr), CUDA_SUCCESS);
+  const ipm::JobProfile job = run_and_collect();
+  const ipm::RankProfile& r = job.ranks.at(0);
+  EXPECT_NE(find(r, "cuMemAlloc"), nullptr);
+  EXPECT_NE(find(r, "cuMemcpyHtoD(H2D)"), nullptr);
+  EXPECT_NE(find(r, "cuMemcpyDtoH(D2H)"), nullptr);
+  EXPECT_NE(find(r, "cuMemFree"), nullptr);
+}
+
+// The paper's §III-C microbenchmark: identify which synchronous operations
+// exhibit implicit blocking by comparing each call's duration with and
+// without a preceding cudaStreamSynchronize.
+TEST_F(LayerTest, BlockingSetIdentificationMicrobenchmark) {
+  ipm::Config cfg;
+  cfg.enabled = false;  // raw timing, no monitoring interference
+  ipm::job_begin(cfg, "./microbench");
+  static const cusim::KernelDef kK = fixed_kernel("busy_kernel", 0.2);
+  void* dev = nullptr;
+  cudaMalloc(&dev, 1024);
+  char h[1024];
+
+  struct Probe {
+    const char* name;
+    std::function<void()> op;
+    bool expect_blocking;
+  };
+  const std::vector<Probe> probes = {
+      {"cudaMemcpy(D2H)", [&] { cudaMemcpy(h, dev, 1024, cudaMemcpyDeviceToHost); }, true},
+      {"cudaMemcpy(H2D)", [&] { cudaMemcpy(dev, h, 1024, cudaMemcpyHostToDevice); }, true},
+      {"cudaMemset", [&] { cudaMemset(dev, 0, 1024); }, false},
+      {"cudaMemcpyAsync",
+       [&] { cudaMemcpyAsync(h, dev, 1024, cudaMemcpyDeviceToHost, nullptr); }, false},
+  };
+  for (const Probe& probe : probes) {
+    // Without sync: launch a kernel, then time the op directly.
+    ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+    double t0 = ipm::gettime();
+    probe.op();
+    const double without_sync = ipm::gettime() - t0;
+    cudaThreadSynchronize();
+    // With sync first: the op runs against an idle device.
+    ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+    cudaStreamSynchronize(nullptr);
+    t0 = ipm::gettime();
+    probe.op();
+    const double with_sync = ipm::gettime() - t0;
+    cudaThreadSynchronize();
+    if (probe.expect_blocking) {
+      EXPECT_GT(without_sync, with_sync + 0.15) << probe.name << " should block";
+    } else {
+      EXPECT_LT(without_sync, with_sync + 0.001) << probe.name << " should not block";
+    }
+  }
+  cudaFree(dev);
+  ipm::job_end();
+}
+
+TEST_F(LayerTest, EveryCallPolicyPollsAggressively) {
+  ipm::Config cfg;
+  cfg.ktt_policy = ipm::KttPolicy::kOnEveryCall;
+  ipm::job_begin(cfg, "./layer");
+  static const cusim::KernelDef kK = fixed_kernel("pk", 0.001);
+  for (int i = 0; i < 3; ++i) ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+  cudaThreadSynchronize();
+  (void)cudaGetLastError();  // any call polls under this policy
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::cuda::LayerStats stats = ipm::cuda::layer_stats(*mon);
+  EXPECT_GT(stats.ktt_polls, 3u);
+  EXPECT_EQ(stats.ktt_completed, 3u);  // already recorded before finalize
+  ipm::job_end();
+}
+
+TEST_F(LayerTest, KttSlotsExhaustDegradeGracefully) {
+  ipm::Config cfg;
+  cfg.ktt_policy = ipm::KttPolicy::kNever;
+  ipm::job_begin(cfg, "./layer");
+  static const cusim::KernelDef kK = fixed_kernel("flood", 1e-6);
+  for (int i = 0; i < 600; ++i) {  // more than the 512 KTT slots
+    ASSERT_EQ(cusim::launch_timed(kK, dim3(1), dim3(32)), cudaSuccess);
+  }
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::cuda::LayerStats stats = ipm::cuda::layer_stats(*mon);
+  EXPECT_EQ(stats.ktt_inserts, 512u);
+  EXPECT_EQ(stats.ktt_slots_exhausted, 600u - 512u);
+  const ipm::JobProfile job = run_and_collect();
+  const auto* launches = find(job.ranks.at(0), "cudaLaunch");
+  ASSERT_NE(launches, nullptr);
+  EXPECT_EQ(launches->count, 600u);  // host timing never lost
+}
+
+TEST_F(LayerTest, OverheadCorrectionTightensShortKernelTiming) {
+  // The §IV-A fidelity correction: with it, the measured time approaches
+  // the ground truth; without it, the bracket overhead dominates short
+  // kernels.  Never goes negative.
+  const auto measure = [this](bool corrected) {
+    SetUp();
+    cusim::set_profiling(true);
+    ipm::Config cfg;
+    cfg.ktt_overhead_correction = corrected;
+    ipm::job_begin(cfg, "./corr");
+    static const cusim::KernelDef kShort = fixed_kernel("short_kernel", 20e-6);
+    void* dev = nullptr;
+    cudaMalloc(&dev, 64);
+    char h[64];
+    // Back-to-back launches keep the stream saturated (the scan regime of
+    // Table I): the bracket overhead is then the constant event cost that
+    // the calibration captures.
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(cusim::launch_timed(kShort, dim3(1), dim3(32)), cudaSuccess);
+    }
+    cudaMemcpy(h, dev, 64, cudaMemcpyDeviceToHost);
+    cudaFree(dev);
+    double truth = 0.0;
+    for (const auto& rec : cusim::profile_log()) {
+      if (rec.method == "short_kernel") truth += rec.gpu_time;
+    }
+    cusim::set_profiling(false);
+    const ipm::JobProfile job = run_and_collect();
+    return std::pair{job.ranks.at(0).time_in("GPU"), truth};
+  };
+  const auto [plain, truth1] = measure(false);
+  const auto [corrected, truth2] = measure(true);
+  EXPECT_GT(plain - truth1, 50 * 2e-6);  // uncorrected carries the brackets
+  EXPECT_GE(corrected, 0.0);
+  EXPECT_LT(std::abs(corrected - truth2), std::abs(plain - truth1) / 5)
+      << "correction should remove most of the bracket overhead";
+}
+
+TEST_F(LayerTest, UnmonitoredJobPassesThrough) {
+  ipm::Config cfg;
+  cfg.enabled = false;
+  ipm::job_begin(cfg, "./layer");
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, 64), cudaSuccess);
+  EXPECT_EQ(cudaFree(dev), cudaSuccess);
+  const ipm::JobProfile job = run_and_collect();
+  EXPECT_TRUE(job.ranks.empty());
+}
+
+}  // namespace

@@ -1,0 +1,266 @@
+// Unit tests for the IPM core monitor: lifecycle, regions, derived-metric
+// classification, banner structure, and XML log round-tripping.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ipm/report.hpp"
+#include "simcommon/clock.hpp"
+
+namespace {
+
+/// Fresh monitoring job for each test.
+ipm::Monitor& fresh(ipm::Config cfg = {}, const std::string& command = "./test") {
+  simx::reset_default_context();
+  ipm::job_begin(cfg, command);
+  ipm::Monitor* m = ipm::monitor();
+  EXPECT_NE(m, nullptr);
+  return *m;
+}
+
+TEST(MonitorCore, DisabledJobYieldsNoMonitor) {
+  simx::reset_default_context();
+  ipm::Config cfg;
+  cfg.enabled = false;
+  ipm::job_begin(cfg, "./off");
+  EXPECT_EQ(ipm::monitor(), nullptr);
+  const ipm::JobProfile job = ipm::job_end();
+  EXPECT_EQ(job.nranks, 0);
+}
+
+TEST(MonitorCore, UpdateAggregatesIntoSnapshot) {
+  ipm::Monitor& m = fresh();
+  const ipm::NameId name = ipm::intern_name("MPI_Send");
+  m.update(name, 0.25, 1024, 1);
+  m.update(name, 0.75, 1024, 1);
+  m.update(name, 0.10, 2048, 1);  // other byte size merges in the snapshot
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  ASSERT_EQ(p.events.size(), 1u);
+  const ipm::EventRecord& e = p.events[0];
+  EXPECT_EQ(e.name, "MPI_Send");
+  EXPECT_EQ(e.count, 3u);
+  EXPECT_DOUBLE_EQ(e.tsum, 1.10);
+  EXPECT_DOUBLE_EQ(e.tmin, 0.10);
+  EXPECT_DOUBLE_EQ(e.tmax, 0.75);
+  EXPECT_EQ(e.bytes, 1024u * 2 + 2048u);
+}
+
+TEST(MonitorCore, RegionsAttributeEvents) {
+  ipm::Monitor& m = fresh();
+  const ipm::NameId name = ipm::intern_name("cudaMemcpy(D2H)");
+  m.update(name, 1.0);
+  m.region_begin("solver");
+  EXPECT_EQ(m.current_region(), 1u);
+  m.update(name, 2.0);
+  m.region_begin("solver");  // same name reuses the id
+  EXPECT_EQ(m.current_region(), 1u);
+  m.region_end();
+  m.region_end();
+  EXPECT_EQ(m.current_region(), 0u);
+  EXPECT_THROW(m.region_end(), std::logic_error);
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  ASSERT_EQ(p.events.size(), 2u);  // one per region
+  ASSERT_EQ(p.regions.size(), 2u);
+  EXPECT_EQ(p.regions[1], "solver");
+}
+
+TEST(MonitorCore, FamilyClassification) {
+  ipm::Monitor& m = fresh();
+  m.update(ipm::intern_name("MPI_Allreduce"), 1.0);
+  m.update(ipm::intern_name("cudaMemcpy(H2D)"), 2.0);
+  m.update(ipm::intern_name("cuMemcpyDtoH"), 0.5);
+  m.update(ipm::intern_name("cublasDgemm"), 4.0);
+  m.update(ipm::intern_name("cufftExecZ2Z"), 8.0);
+  m.update(ipm::intern_name("@CUDA_EXEC:square"), 16.0, 0, 0);
+  m.update(ipm::intern_name("@CUDA_HOST_IDLE"), 32.0);
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  EXPECT_DOUBLE_EQ(p.time_in("MPI"), 1.0);
+  EXPECT_DOUBLE_EQ(p.time_in("CUDA"), 2.5);  // cuda* and cu[A-Z]*, not cublas/cufft
+  EXPECT_DOUBLE_EQ(p.time_in("CUBLAS"), 4.0);
+  EXPECT_DOUBLE_EQ(p.time_in("CUFFT"), 8.0);
+  EXPECT_DOUBLE_EQ(p.time_in("GPU"), 16.0);
+  EXPECT_DOUBLE_EQ(p.time_in("IDLE"), 32.0);
+  EXPECT_EQ(p.calls_in("MPI"), 1u);
+}
+
+TEST(MonitorCore, MonitorChargePerturbsVirtualTime) {
+  ipm::Config cfg;
+  cfg.monitor_charge = 0.001;
+  ipm::Monitor& m = fresh(cfg);
+  const double before = simx::virtual_now();
+  for (int i = 0; i < 10; ++i) m.update(ipm::intern_name("x_charge"), 1e-6);
+  EXPECT_NEAR(simx::virtual_now() - before, 0.010, 1e-12);
+  ipm::job_end();
+}
+
+TEST(MonitorCore, TimedEventRecordsDuration) {
+  fresh();
+  const ipm::NameId name = ipm::intern_name("timed_thing");
+  const int ret = ipm::timed_event(name, 42, 0, [] {
+    simx::host_compute(0.5);
+    return 7;
+  });
+  EXPECT_EQ(ret, 7);
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  ASSERT_EQ(p.events.size(), 1u);
+  EXPECT_NEAR(p.events[0].tsum, 0.5, 1e-9);
+  EXPECT_EQ(p.events[0].bytes, 42u);
+}
+
+TEST(MonitorCore, ConfigFromEnv) {
+  setenv("IPM_REPORT", "none", 1);
+  setenv("IPM_KERNEL_TIMING", "0", 1);
+  setenv("IPM_HOST_IDLE", "1", 1);
+  setenv("IPM_KTT_POLICY", "every", 1);
+  setenv("IPM_HASH_BITS", "10", 1);
+  setenv("IPM_LOG", "/tmp/ipm_test.xml", 1);
+  const ipm::Config cfg = ipm::config_from_env();
+  EXPECT_FALSE(cfg.banner_to_stdout);
+  EXPECT_FALSE(cfg.kernel_timing);
+  EXPECT_TRUE(cfg.host_idle);
+  EXPECT_EQ(cfg.ktt_policy, ipm::KttPolicy::kOnEveryCall);
+  EXPECT_EQ(cfg.table_log2_slots, 10u);
+  EXPECT_EQ(cfg.log_path, "/tmp/ipm_test.xml");
+  setenv("IPM_KTT_POLICY", "bogus", 1);
+  EXPECT_THROW((void)ipm::config_from_env(), std::runtime_error);
+  unsetenv("IPM_REPORT");
+  unsetenv("IPM_KERNEL_TIMING");
+  unsetenv("IPM_HOST_IDLE");
+  unsetenv("IPM_KTT_POLICY");
+  unsetenv("IPM_HASH_BITS");
+  unsetenv("IPM_LOG");
+}
+
+ipm::JobProfile sample_job() {
+  ipm::Monitor& m = fresh({}, "./sample_app");
+  m.set_mem_bytes(1ULL << 30);
+  m.update(ipm::intern_name("MPI_Send"), 1.0, 4096, 2);
+  m.update(ipm::intern_name("cudaMemcpy(D2H)"), 2.5, 800000, 0);
+  m.update(ipm::intern_name("@CUDA_EXEC:square"), 2.4, 0, 0);
+  m.region_begin("io");
+  m.update(ipm::intern_name("MPI_Send"), 0.5, 64, 1);
+  m.region_end();
+  simx::host_compute(10.0);
+  ipm::rank_finalize();
+  return ipm::job_end();
+}
+
+TEST(Report, XmlRoundTripPreservesEverything) {
+  const ipm::JobProfile job = sample_job();
+  std::ostringstream ss;
+  ipm::write_xml(ss, job);
+  const ipm::JobProfile back = ipm::parse_xml(ss.str());
+  ASSERT_EQ(back.nranks, job.nranks);
+  EXPECT_EQ(back.command, job.command);
+  ASSERT_EQ(back.ranks.size(), job.ranks.size());
+  const ipm::RankProfile& a = job.ranks[0];
+  const ipm::RankProfile& b = back.ranks[0];
+  EXPECT_EQ(a.hostname, b.hostname);
+  EXPECT_EQ(a.mem_bytes, b.mem_bytes);
+  EXPECT_NEAR(a.wallclock(), b.wallclock(), 1e-6);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].name, b.events[i].name);
+    EXPECT_EQ(a.events[i].count, b.events[i].count);
+    EXPECT_NEAR(a.events[i].tsum, b.events[i].tsum, 1e-9);
+    EXPECT_EQ(a.events[i].bytes, b.events[i].bytes);
+    EXPECT_EQ(a.events[i].region, b.events[i].region);
+    EXPECT_EQ(a.events[i].select, b.events[i].select);
+  }
+  EXPECT_EQ(b.regions.size(), 2u);
+  EXPECT_EQ(b.regions[1], "io");
+}
+
+TEST(Report, BannerContainsStructure) {
+  const ipm::JobProfile job = sample_job();
+  const std::string banner = ipm::banner_string(job);
+  EXPECT_NE(banner.find("##IPMv2.0"), std::string::npos);
+  EXPECT_NE(banner.find("./sample_app"), std::string::npos);
+  EXPECT_NE(banner.find("cudaMemcpy(D2H)"), std::string::npos);
+  EXPECT_NE(banner.find("@CUDA_EXEC_STRM00"), std::string::npos);
+  EXPECT_NE(banner.find("MPI_Send"), std::string::npos);
+}
+
+TEST(Report, FunctionTableSortedAndGrouped) {
+  const ipm::JobProfile job = sample_job();
+  const std::vector<ipm::FuncRow> rows = ipm::function_table(job);
+  ASSERT_GE(rows.size(), 3u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].tsum, rows[i].tsum) << "not sorted at " << i;
+  }
+  // MPI_Send rows from both regions merge into one.
+  int send_rows = 0;
+  for (const auto& r : rows) {
+    if (r.name == "MPI_Send") {
+      ++send_rows;
+      EXPECT_EQ(r.count, 2u);
+      EXPECT_DOUBLE_EQ(r.tsum, 1.5);
+    }
+  }
+  EXPECT_EQ(send_rows, 1);
+}
+
+TEST(Report, PerRankTimes) {
+  const ipm::JobProfile job = sample_job();
+  const auto m = ipm::per_rank_times(job, {"@CUDA_EXEC:square", "absent"});
+  ASSERT_EQ(m.size(), 2u);
+  ASSERT_EQ(m[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(m[0][0], 2.4);
+  EXPECT_DOUBLE_EQ(m[1][0], 0.0);
+}
+
+TEST(Report, ParseRejectsNonIpmXml) {
+  EXPECT_THROW((void)ipm::parse_xml("<notipm/>"), std::runtime_error);
+  EXPECT_THROW((void)ipm::parse_xml_file("/nonexistent/file.xml"), std::runtime_error);
+}
+
+}  // namespace
+
+#include "ipm/ipm.h"
+
+namespace {
+
+TEST(CApi, RegionsAndMemHint) {
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "./capi");
+  ipm_region_begin("step");
+  EXPECT_EQ(ipm::monitor()->current_region(), 1u);
+  ipm::monitor()->update(ipm::intern_name("work_in_region"), 0.5);
+  ipm_region_end();
+  EXPECT_EQ(ipm::monitor()->current_region(), 0u);
+  ipm_region_begin(nullptr);  // tolerated, named "(unnamed)"
+  ipm_region_end();
+  ipm_set_mem_bytes(123456);
+  EXPECT_GE(ipm_gettime(), 0.0);
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  EXPECT_EQ(p.mem_bytes, 123456u);
+  ASSERT_GE(p.regions.size(), 2u);
+  EXPECT_EQ(p.regions[1], "step");
+  bool found = false;
+  for (const auto& e : p.events) {
+    if (e.name == "work_in_region") {
+      EXPECT_EQ(e.region, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CApi, NoMonitorIsSafe) {
+  simx::reset_default_context();
+  ipm::Config off;
+  off.enabled = false;
+  ipm::job_begin(off, "./capi_off");
+  ipm_region_begin("x");  // all no-ops without a monitor
+  ipm_region_end();
+  ipm_set_mem_bytes(1);
+  ipm::job_end();
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// End-to-end smoke tests of the monitored CUDA path: the Fig. 3 square
+// kernel must produce the Fig. 4/5/6 banner structure depending on which
+// monitoring features are enabled.  This binary is linked with
+// ipm_enable_monitoring(), so every cuda* call below goes through the
+// generated --wrap interposition wrappers.
+#include <gtest/gtest.h>
+
+#include "cudasim/control.hpp"
+#include "ipm/report.hpp"
+#include "simcommon/clock.hpp"
+#include "support/square_app.hpp"
+
+namespace {
+
+ipm::JobProfile run_with(bool kernel_timing, bool host_idle) {
+  cusim::reset();
+  simx::reset_default_context();
+  ipm::Config cfg;
+  cfg.kernel_timing = kernel_timing;
+  cfg.host_idle = host_idle;
+  ipm::job_begin(cfg, "./cuda.ipm");
+  testsupport::run_square_app();
+  return ipm::job_end();
+}
+
+const ipm::EventRecord* find_event(const ipm::RankProfile& r, const std::string& name) {
+  for (const auto& e : r.events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(MonitoringSmoke, KernelNumericsAreCorrect) {
+  cusim::reset();
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "./cuda.ipm");
+  const std::vector<double> result = testsupport::run_square_app(1000);
+  ipm::job_end();
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 1.0 + i % 7;
+    EXPECT_DOUBLE_EQ(result[static_cast<std::size_t>(i)], x * x) << "index " << i;
+  }
+}
+
+// Fig. 4: host-side timing only.  The blocking D2H memcpy absorbs the
+// kernel duration; cudaMalloc carries the runtime-initialization cost;
+// cudaLaunch is nearly free.
+TEST(MonitoringSmoke, Fig4HostOnlyTiming) {
+  const ipm::JobProfile job = run_with(false, false);
+  ASSERT_EQ(job.nranks, 1);
+  const ipm::RankProfile& r = job.ranks[0];
+
+  const auto* malloc_ev = find_event(r, "cudaMalloc");
+  const auto* d2h = find_event(r, "cudaMemcpy(D2H)");
+  const auto* h2d = find_event(r, "cudaMemcpy(H2D)");
+  const auto* launch = find_event(r, "cudaLaunch");
+  const auto* setup = find_event(r, "cudaSetupArgument");
+  ASSERT_NE(malloc_ev, nullptr);
+  ASSERT_NE(d2h, nullptr);
+  ASSERT_NE(h2d, nullptr);
+  ASSERT_NE(launch, nullptr);
+  ASSERT_NE(setup, nullptr);
+
+  EXPECT_EQ(setup->count, 2u);  // square(a_d, N) pushes two arguments
+  // Initialization dominates cudaMalloc (~1.29 s default).
+  EXPECT_GT(malloc_ev->tsum, 1.0);
+  // Implicit blocking: D2H takes ~kernel time, H2D only the transfer.
+  EXPECT_GT(d2h->tsum, 0.5);
+  EXPECT_LT(h2d->tsum, 0.01);
+  EXPECT_GT(d2h->tsum / h2d->tsum, 50.0);
+  EXPECT_LT(launch->tsum, 1e-3);
+  // No pseudo events in host-only mode.
+  EXPECT_EQ(find_event(r, "@CUDA_HOST_IDLE"), nullptr);
+  for (const auto& e : r.events) EXPECT_FALSE(e.name.starts_with("@CUDA_EXEC"));
+}
+
+// Fig. 5: + kernel timing.  @CUDA_EXEC_STRM00 appears and matches the D2H
+// blocking time closely.
+TEST(MonitoringSmoke, Fig5KernelTiming) {
+  const ipm::JobProfile job = run_with(true, false);
+  const ipm::RankProfile& r = job.ranks[0];
+  const double gpu = r.time_in("GPU");
+  const auto* d2h = find_event(r, "cudaMemcpy(D2H)");
+  ASSERT_NE(d2h, nullptr);
+  ASSERT_GT(gpu, 0.0);
+  // Kernel execution time ~ D2H blocking time (both ~1.15 s).
+  EXPECT_NEAR(gpu, d2h->tsum, 0.05 * d2h->tsum);
+  // Banner shows the per-stream pseudo entry.
+  const std::string banner = ipm::banner_string(job);
+  EXPECT_NE(banner.find("@CUDA_EXEC_STRM00"), std::string::npos) << banner;
+}
+
+// Fig. 6: + host-idle identification.  The blocking time moves out of the
+// D2H row into @CUDA_HOST_IDLE; the D2H row collapses to the transfer time.
+TEST(MonitoringSmoke, Fig6HostIdle) {
+  const ipm::JobProfile job = run_with(true, true);
+  const ipm::RankProfile& r = job.ranks[0];
+  const auto* d2h = find_event(r, "cudaMemcpy(D2H)");
+  const auto* idle = find_event(r, "@CUDA_HOST_IDLE");
+  ASSERT_NE(d2h, nullptr);
+  ASSERT_NE(idle, nullptr);
+  const double gpu = r.time_in("GPU");
+  EXPECT_EQ(idle->count, 1u);  // only the D2H probe crosses the threshold
+  EXPECT_NEAR(idle->tsum, gpu, 0.05 * gpu);
+  // The D2H row now shows only the transfer itself (~1 ms for 800 KB).
+  EXPECT_LT(d2h->tsum, 0.01);
+  const std::string banner = ipm::banner_string(job);
+  EXPECT_NE(banner.find("@CUDA_HOST_IDLE"), std::string::npos) << banner;
+}
+
+// The banner of Fig. 4 lists rows sorted by time with cudaMalloc on top.
+TEST(MonitoringSmoke, BannerStructure) {
+  const ipm::JobProfile job = run_with(false, false);
+  const std::string banner = ipm::banner_string(job);
+  EXPECT_NE(banner.find("##IPMv2.0"), std::string::npos);
+  EXPECT_NE(banner.find("# command   : ./cuda.ipm"), std::string::npos);
+  EXPECT_NE(banner.find("# wallclock :"), std::string::npos);
+  // cudaMalloc (init) must be the first function row.
+  const std::size_t malloc_pos = banner.find("cudaMalloc");
+  const std::size_t d2h_pos = banner.find("cudaMemcpy(D2H)");
+  ASSERT_NE(malloc_pos, std::string::npos);
+  ASSERT_NE(d2h_pos, std::string::npos);
+  EXPECT_LT(malloc_pos, d2h_pos);
+}
+
+}  // namespace

@@ -1,0 +1,528 @@
+// Unit and property tests for mpisim: point-to-point and collective data
+// correctness across rank counts, virtual-time semantics (imbalance -> MPI
+// wait), nonblocking operations, and argument validation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+#include "simcommon/str.hpp"
+
+namespace {
+
+TEST(MpiSim, StandaloneSingleRankWorld) {
+  int rank = -1;
+  int size = -1;
+  ASSERT_EQ(MPI_Init(nullptr, nullptr), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Comm_rank(MPI_COMM_WORLD, &rank), MPI_SUCCESS);
+  ASSERT_EQ(MPI_Comm_size(MPI_COMM_WORLD, &size), MPI_SUCCESS);
+  EXPECT_EQ(rank, 0);
+  EXPECT_EQ(size, 1);
+  int flag = 0;
+  ASSERT_EQ(MPI_Initialized(&flag), MPI_SUCCESS);
+  EXPECT_EQ(flag, 1);
+  char name[MPI_MAX_PROCESSOR_NAME];
+  int len = 0;
+  ASSERT_EQ(MPI_Get_processor_name(name, &len), MPI_SUCCESS);
+  EXPECT_GT(len, 0);
+  EXPECT_EQ(MPI_Finalize(), MPI_SUCCESS);
+}
+
+TEST(MpiSim, ArgumentValidation) {
+  EXPECT_EQ(MPI_Comm_rank(42, nullptr), MPI_ERR_COMM);
+  int x = 0;
+  EXPECT_EQ(MPI_Send(&x, -1, MPI_INT, 0, 0, MPI_COMM_WORLD), MPI_ERR_COUNT);
+  EXPECT_EQ(MPI_Send(&x, 1, 999, 0, 0, MPI_COMM_WORLD), MPI_ERR_TYPE);
+  EXPECT_EQ(MPI_Send(&x, 1, MPI_INT, 5, 0, MPI_COMM_WORLD), MPI_ERR_RANK);
+  EXPECT_EQ(MPI_Bcast(&x, 1, MPI_INT, 3, MPI_COMM_WORLD), MPI_ERR_RANK);
+  EXPECT_EQ(MPI_Comm_size(MPI_COMM_WORLD, nullptr), MPI_ERR_ARG);
+}
+
+TEST(MpiSim, DatatypeSizes) {
+  EXPECT_EQ(mpisim::datatype_size(MPI_DOUBLE), sizeof(double));
+  EXPECT_EQ(mpisim::datatype_size(MPI_INT), sizeof(int));
+  EXPECT_EQ(mpisim::datatype_size(MPI_DOUBLE_COMPLEX), 16u);
+  EXPECT_EQ(mpisim::datatype_size(MPI_BYTE), 1u);
+  EXPECT_EQ(mpisim::datatype_size(777), 0u);
+}
+
+TEST(MpiSim, SendRecvMovesData) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 2;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      std::vector<int> data(100);
+      std::iota(data.begin(), data.end(), 5);
+      ASSERT_EQ(MPI_Send(data.data(), 100, MPI_INT, 1, 42, MPI_COMM_WORLD), MPI_SUCCESS);
+    } else {
+      std::vector<int> data(100, 0);
+      MPI_Status st{};
+      ASSERT_EQ(MPI_Recv(data.data(), 100, MPI_INT, 0, 42, MPI_COMM_WORLD, &st),
+                MPI_SUCCESS);
+      EXPECT_EQ(st.MPI_SOURCE, 0);
+      EXPECT_EQ(st.MPI_TAG, 42);
+      int count = 0;
+      ASSERT_EQ(MPI_Get_count(&st, MPI_INT, &count), MPI_SUCCESS);
+      EXPECT_EQ(count, 100);
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], 5 + i);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(MpiSim, TagAndSourceMatching) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 3;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    if (rank != 2) {
+      const int payload = rank * 100;
+      ASSERT_EQ(MPI_Send(&payload, 1, MPI_INT, 2, rank, MPI_COMM_WORLD), MPI_SUCCESS);
+    } else {
+      int v = -1;
+      // Receive rank 1's message first despite posting order.
+      ASSERT_EQ(MPI_Recv(&v, 1, MPI_INT, 1, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+                MPI_SUCCESS);
+      EXPECT_EQ(v, 100);
+      MPI_Status st{};
+      ASSERT_EQ(MPI_Recv(&v, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD,
+                         &st),
+                MPI_SUCCESS);
+      EXPECT_EQ(v, 0);
+      EXPECT_EQ(st.MPI_SOURCE, 0);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(MpiSim, NonblockingSendRecvWaitall) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 2;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const int other = 1 - rank;
+    std::vector<double> out(64, rank + 1.0);
+    std::vector<double> in(64, -1.0);
+    MPI_Request reqs[2];
+    ASSERT_EQ(MPI_Irecv(in.data(), 64, MPI_DOUBLE, other, 9, MPI_COMM_WORLD, &reqs[0]),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Isend(out.data(), 64, MPI_DOUBLE, other, 9, MPI_COMM_WORLD, &reqs[1]),
+              MPI_SUCCESS);
+    ASSERT_EQ(MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE), MPI_SUCCESS);
+    EXPECT_EQ(reqs[0], MPI_REQUEST_NULL);
+    for (const double v : in) EXPECT_DOUBLE_EQ(v, other + 1.0);
+    MPI_Finalize();
+  });
+}
+
+TEST(MpiSim, SendrecvExchanges) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 4;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    int size = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &size);
+    const int next = (rank + 1) % size;
+    const int prev = (rank + size - 1) % size;
+    const int out = rank;
+    int in = -1;
+    ASSERT_EQ(MPI_Sendrecv(&out, 1, MPI_INT, next, 3, &in, 1, MPI_INT, prev, 3,
+                           MPI_COMM_WORLD, MPI_STATUS_IGNORE),
+              MPI_SUCCESS);
+    EXPECT_EQ(in, prev);
+    MPI_Finalize();
+  });
+}
+
+// --- collectives: data correctness, parameterized over rank counts ------------
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, BcastDeliversRootData) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = GetParam();
+  const int p = GetParam();
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const int root = p > 1 ? 1 : 0;
+    std::vector<double> buf(32, rank == root ? 3.14 : 0.0);
+    ASSERT_EQ(MPI_Bcast(buf.data(), 32, MPI_DOUBLE, root, MPI_COMM_WORLD), MPI_SUCCESS);
+    for (const double v : buf) EXPECT_DOUBLE_EQ(v, 3.14);
+    MPI_Finalize();
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceSumAndMax) {
+  const int p = GetParam();
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = p;
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const double mine = rank + 1.0;
+    double sum = 0.0;
+    ASSERT_EQ(MPI_Allreduce(&mine, &sum, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+    int imax = 0;
+    const int myint = rank * 7;
+    ASSERT_EQ(MPI_Allreduce(&myint, &imax, 1, MPI_INT, MPI_MAX, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(imax, (p - 1) * 7);
+    MPI_Finalize();
+  });
+}
+
+TEST_P(CollectivesTest, ReduceToRootOnly) {
+  const int p = GetParam();
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = p;
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const long mine = 2;
+    long prod = -1;
+    ASSERT_EQ(MPI_Reduce(&mine, &prod, 1, MPI_LONG, MPI_PROD, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(prod, 1L << p);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST_P(CollectivesTest, GatherScatterAllgatherAlltoall) {
+  const int p = GetParam();
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = p;
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    // Gather: root sees every rank's value in order.
+    const int mine = rank + 10;
+    std::vector<int> gathered(static_cast<std::size_t>(p), -1);
+    ASSERT_EQ(MPI_Gather(&mine, 1, MPI_INT, gathered.data(), 1, MPI_INT, 0,
+                         MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    if (rank == 0) {
+      for (int r = 0; r < p; ++r) EXPECT_EQ(gathered[static_cast<std::size_t>(r)], r + 10);
+    }
+    // Allgather: everyone sees everything.
+    std::vector<int> all(static_cast<std::size_t>(p), -1);
+    ASSERT_EQ(MPI_Allgather(&mine, 1, MPI_INT, all.data(), 1, MPI_INT, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 10);
+    // Scatter: each rank gets its slice of root's array.
+    std::vector<int> src;
+    if (rank == 0) {
+      src.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) src[static_cast<std::size_t>(r)] = r * r;
+    }
+    int mine2 = -1;
+    ASSERT_EQ(MPI_Scatter(src.data(), 1, MPI_INT, &mine2, 1, MPI_INT, 0, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_EQ(mine2, rank * rank);
+    // Alltoall: transpose of contributions.
+    std::vector<int> tosend(static_cast<std::size_t>(p));
+    std::vector<int> torecv(static_cast<std::size_t>(p), -1);
+    for (int r = 0; r < p; ++r) tosend[static_cast<std::size_t>(r)] = rank * 100 + r;
+    ASSERT_EQ(MPI_Alltoall(tosend.data(), 1, MPI_INT, torecv.data(), 1, MPI_INT,
+                           MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    for (int r = 0; r < p; ++r) EXPECT_EQ(torecv[static_cast<std::size_t>(r)], r * 100 + rank);
+    MPI_Finalize();
+  });
+}
+
+TEST_P(CollectivesTest, AllreduceInPlace) {
+  const int p = GetParam();
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = p;
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    double value = rank + 1.0;
+    ASSERT_EQ(MPI_Allreduce(MPI_IN_PLACE, &value, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(value, p * (p + 1) / 2.0);
+    MPI_Finalize();
+  });
+}
+
+TEST_P(CollectivesTest, ComplexSumAndInvalidOp) {
+  const int p = GetParam();
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = p;
+  mpisim::run_cluster(cfg, [p](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const double mine[2] = {1.0, static_cast<double>(rank)};
+    double sum[2] = {0, 0};
+    ASSERT_EQ(MPI_Allreduce(mine, sum, 1, MPI_DOUBLE_COMPLEX, MPI_SUM, MPI_COMM_WORLD),
+              MPI_SUCCESS);
+    EXPECT_DOUBLE_EQ(sum[0], p);
+    EXPECT_DOUBLE_EQ(sum[1], p * (p - 1) / 2.0);
+    EXPECT_EQ(MPI_Allreduce(mine, sum, 1, MPI_DOUBLE_COMPLEX, MPI_MAX, MPI_COMM_WORLD),
+              MPI_ERR_OP);
+    MPI_Finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, CollectivesTest, ::testing::Values(1, 2, 3, 4, 7, 16));
+
+// --- virtual-time semantics ----------------------------------------------------
+
+TEST(MpiSimTiming, BarrierAlignsClocksToSlowestRank) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 4;
+  const auto outcomes = mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    simx::host_compute(rank == 2 ? 5.0 : 0.1);  // rank 2 is the straggler
+    const double before = MPI_Wtime();
+    MPI_Barrier(MPI_COMM_WORLD);
+    const double waited = MPI_Wtime() - before;
+    if (rank == 2) {
+      EXPECT_LT(waited, 0.01);  // the straggler barely waits
+    } else {
+      EXPECT_GT(waited, 4.8);  // everyone else absorbs the imbalance
+    }
+    MPI_Finalize();
+  });
+  for (const auto& o : outcomes) EXPECT_GE(o.wallclock, 5.0);
+}
+
+TEST(MpiSimTiming, CollectiveCostGrowsWithMessageSize) {
+  for (const int elems : {1024, 1024 * 1024}) {
+    mpisim::ClusterConfig cfg;
+    cfg.ranks = 4;
+    std::vector<double> times(4, 0.0);
+    mpisim::run_cluster(cfg, [&, elems](int rank) {
+      MPI_Init(nullptr, nullptr);
+      std::vector<double> buf(static_cast<std::size_t>(elems), 1.0);
+      std::vector<double> out(static_cast<std::size_t>(elems));
+      const double before = MPI_Wtime();
+      MPI_Allreduce(buf.data(), out.data(), elems, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+      times[static_cast<std::size_t>(rank)] = MPI_Wtime() - before;
+      MPI_Finalize();
+    });
+    if (elems == 1024) {
+      EXPECT_LT(times[0], 1e-3);
+    } else {
+      EXPECT_GT(times[0], 1e-3);
+    }
+  }
+}
+
+TEST(MpiSimTiming, InjectionContentionSlowsTransfers) {
+  const auto gather_time = [](double contention) {
+    mpisim::ClusterConfig cfg;
+    cfg.ranks = 8;
+    cfg.ranks_per_node = 4;
+    cfg.net.injection_contention = contention;
+    double root_time = 0.0;
+    mpisim::run_cluster(cfg, [&](int rank) {
+      MPI_Init(nullptr, nullptr);
+      std::vector<double> mine(1 << 16, 1.0);
+      std::vector<double> all;
+      if (rank == 0) all.resize((1 << 16) * 8);
+      const double before = MPI_Wtime();
+      MPI_Gather(mine.data(), 1 << 16, MPI_DOUBLE, rank == 0 ? all.data() : nullptr,
+                 1 << 16, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+      if (rank == 0) root_time = MPI_Wtime() - before;
+      MPI_Finalize();
+    });
+    return root_time;
+  };
+  const double clean = gather_time(0.0);
+  const double contended = gather_time(0.5);
+  EXPECT_GT(contended, clean * 1.5);
+}
+
+TEST(MpiSimTiming, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    mpisim::ClusterConfig cfg;
+    cfg.ranks = 5;
+    const auto outcomes = mpisim::run_cluster(cfg, [](int rank) {
+      MPI_Init(nullptr, nullptr);
+      simx::host_compute(0.01 * rank);
+      double x = rank;
+      double sum = 0;
+      for (int i = 0; i < 50; ++i) {
+        MPI_Allreduce(&x, &sum, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+      }
+      MPI_Finalize();
+    });
+    std::vector<double> walls;
+    walls.reserve(outcomes.size());
+    for (const auto& o : outcomes) walls.push_back(o.wallclock);
+    return walls;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MpiSimTiming, RanksMapToNodesBlockwise) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 6;
+  cfg.ranks_per_node = 2;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    EXPECT_EQ(simx::current_context().node_id, rank / 2);
+    EXPECT_EQ(simx::current_context().local_rank, rank % 2);
+    char name[MPI_MAX_PROCESSOR_NAME];
+    int len = 0;
+    MPI_Get_processor_name(name, &len);
+    EXPECT_EQ(std::string(name), simx::strprintf("dirac%02d", rank / 2));
+    MPI_Finalize();
+  });
+}
+
+TEST(MpiSim, ExceptionInRankPropagates) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 2;
+  EXPECT_THROW(mpisim::run_cluster(cfg,
+                                   [](int rank) {
+                                     MPI_Init(nullptr, nullptr);
+                                     // Both ranks throw: collectives would
+                                     // otherwise deadlock a lone thrower.
+                                     (void)rank;
+                                     throw std::runtime_error("rank failure");
+                                   }),
+               std::runtime_error);
+}
+
+}  // namespace
+
+// --- communicators (MPI_Comm_split / dup / free) -------------------------------
+
+namespace {
+
+TEST(Communicators, SplitByParityFormsTwoGroups) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 6;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm sub = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank % 2, rank, &sub), MPI_SUCCESS);
+    ASSERT_NE(sub, MPI_COMM_NULL);
+    int sub_rank = -1;
+    int sub_size = -1;
+    ASSERT_EQ(MPI_Comm_rank(sub, &sub_rank), MPI_SUCCESS);
+    ASSERT_EQ(MPI_Comm_size(sub, &sub_size), MPI_SUCCESS);
+    EXPECT_EQ(sub_size, 3);
+    EXPECT_EQ(sub_rank, rank / 2);  // ordered by key = world rank
+    // Collectives stay within the sub-communicator.
+    int sum = 0;
+    const int mine = rank;
+    ASSERT_EQ(MPI_Allreduce(&mine, &sum, 1, MPI_INT, MPI_SUM, sub), MPI_SUCCESS);
+    EXPECT_EQ(sum, rank % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    // P2P uses sub-communicator ranks.
+    if (sub_rank == 0) {
+      const int payload = 1000 + rank;
+      ASSERT_EQ(MPI_Send(&payload, 1, MPI_INT, 1, 5, sub), MPI_SUCCESS);
+    } else if (sub_rank == 1) {
+      int got = -1;
+      MPI_Status st{};
+      ASSERT_EQ(MPI_Recv(&got, 1, MPI_INT, 0, 5, sub, &st), MPI_SUCCESS);
+      EXPECT_EQ(got, 1000 + (rank % 2 == 0 ? 0 : 1));
+      EXPECT_EQ(st.MPI_SOURCE, 0);  // comm-local source rank
+    }
+    ASSERT_EQ(MPI_Comm_free(&sub), MPI_SUCCESS);
+    EXPECT_EQ(sub, MPI_COMM_NULL);
+    MPI_Finalize();
+  });
+}
+
+TEST(Communicators, KeyControlsOrdering) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 4;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm sub = MPI_COMM_NULL;
+    // Reverse order: higher world rank gets lower key.
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, 0, -rank, &sub), MPI_SUCCESS);
+    int sub_rank = -1;
+    MPI_Comm_rank(sub, &sub_rank);
+    EXPECT_EQ(sub_rank, 3 - rank);
+    MPI_Finalize();
+  });
+}
+
+TEST(Communicators, UndefinedColorYieldsNull) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 4;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm sub = MPI_COMM_NULL;
+    const int color = rank == 0 ? MPI_UNDEFINED : 7;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, color, 0, &sub), MPI_SUCCESS);
+    if (rank == 0) {
+      EXPECT_EQ(sub, MPI_COMM_NULL);
+    } else {
+      int sub_size = 0;
+      MPI_Comm_size(sub, &sub_size);
+      EXPECT_EQ(sub_size, 3);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Communicators, DupBehavesLikeOriginal) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 3;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm dup = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_dup(MPI_COMM_WORLD, &dup), MPI_SUCCESS);
+    ASSERT_NE(dup, MPI_COMM_WORLD);
+    int r = -1;
+    int s = -1;
+    MPI_Comm_rank(dup, &r);
+    MPI_Comm_size(dup, &s);
+    EXPECT_EQ(r, rank);
+    EXPECT_EQ(s, 3);
+    // Messages on the dup do not match receives on the world comm: post on
+    // dup, receive on dup.
+    if (rank == 0) {
+      const int v = 77;
+      MPI_Send(&v, 1, MPI_INT, 1, 3, dup);
+    } else if (rank == 1) {
+      int v = 0;
+      ASSERT_EQ(MPI_Recv(&v, 1, MPI_INT, 0, 3, dup, MPI_STATUS_IGNORE), MPI_SUCCESS);
+      EXPECT_EQ(v, 77);
+    }
+    MPI_Finalize();
+  });
+}
+
+TEST(Communicators, NestedSplits) {
+  mpisim::ClusterConfig cfg;
+  cfg.ranks = 8;
+  mpisim::run_cluster(cfg, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm half = MPI_COMM_NULL;
+    ASSERT_EQ(MPI_Comm_split(MPI_COMM_WORLD, rank / 4, rank, &half), MPI_SUCCESS);
+    MPI_Comm quarter = MPI_COMM_NULL;
+    int half_rank = -1;
+    MPI_Comm_rank(half, &half_rank);
+    ASSERT_EQ(MPI_Comm_split(half, half_rank / 2, half_rank, &quarter), MPI_SUCCESS);
+    int qsize = 0;
+    MPI_Comm_size(quarter, &qsize);
+    EXPECT_EQ(qsize, 2);
+    int sum = 0;
+    const int one = 1;
+    ASSERT_EQ(MPI_Allreduce(&one, &sum, 1, MPI_INT, MPI_SUM, quarter), MPI_SUCCESS);
+    EXPECT_EQ(sum, 2);
+    MPI_Finalize();
+  });
+}
+
+TEST(Communicators, InvalidHandlesAreRejected) {
+  ASSERT_EQ(MPI_Init(nullptr, nullptr), MPI_SUCCESS);
+  int r = -1;
+  EXPECT_EQ(MPI_Comm_rank(MPI_COMM_NULL, &r), MPI_ERR_COMM);
+  EXPECT_EQ(MPI_Comm_rank(9999, &r), MPI_ERR_COMM);
+  MPI_Comm world = MPI_COMM_WORLD;
+  EXPECT_EQ(MPI_Comm_free(&world), MPI_ERR_COMM);  // cannot free the world
+  MPI_Finalize();
+}
+
+}  // namespace

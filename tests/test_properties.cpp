@@ -1,0 +1,195 @@
+// Property-based sweeps over the simulator cost models and the monitoring
+// invariants, using parameterized gtest as the property harness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudasim/control.hpp"
+#include "cudasim/cuda_runtime.h"
+#include "cudasim/kernel.hpp"
+#include "ipm/report.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+#include "simcommon/rng.hpp"
+
+namespace {
+
+void fresh() {
+  cusim::Topology topo;
+  topo.timing.init_cost = 0.0;
+  cusim::configure(topo);
+  simx::reset_default_context();
+}
+
+// Property: memcpy virtual time is strictly monotone in transfer size and
+// symmetric runs are deterministic.
+class MemcpyMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemcpyMonotone, TimeGrowsWithBytes) {
+  fresh();
+  const std::size_t bytes = 1ULL << GetParam();
+  const std::size_t bigger = bytes * 2;
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, bigger), cudaSuccess);
+  std::vector<char> host(bigger);
+  const double t0 = simx::virtual_now();
+  cudaMemcpy(dev, host.data(), bytes, cudaMemcpyHostToDevice);
+  const double small_t = simx::virtual_now() - t0;
+  const double t1 = simx::virtual_now();
+  cudaMemcpy(dev, host.data(), bigger, cudaMemcpyHostToDevice);
+  const double big_t = simx::virtual_now() - t1;
+  EXPECT_GT(big_t, small_t);
+  cudaFree(dev);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeSweep, MemcpyMonotone,
+                         ::testing::Values(10, 14, 18, 22, 24));
+
+// Property: for any kernel shape, IPM's event-bracketing measurement is
+// >= the ground-truth duration, and within a small absolute overhead.
+struct KernelShape {
+  unsigned blocks;
+  unsigned threads;
+  double flops;
+  double bytes;
+};
+
+class EventTimingProperty : public ::testing::TestWithParam<KernelShape> {};
+
+TEST_P(EventTimingProperty, IpmMeasurementBracketsTruth) {
+  fresh();
+  const KernelShape shape = GetParam();
+  cusim::KernelDef def;
+  def.name = "prop_kernel";
+  def.cost.flops_per_thread = shape.flops;
+  def.cost.dram_bytes_per_thread = shape.bytes;
+  def.cost.double_precision = false;
+  cusim::set_profiling(true);
+  cudaEvent_t start = nullptr;
+  cudaEvent_t stop = nullptr;
+  ASSERT_EQ(cudaEventCreate(&start), cudaSuccess);
+  ASSERT_EQ(cudaEventCreate(&stop), cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(start, nullptr), cudaSuccess);
+  ASSERT_EQ(cusim::launch_timed(def, dim3(shape.blocks), dim3(shape.threads)),
+            cudaSuccess);
+  ASSERT_EQ(cudaEventRecord(stop, nullptr), cudaSuccess);
+  ASSERT_EQ(cudaEventSynchronize(stop), cudaSuccess);
+  float ms = 0.0F;
+  ASSERT_EQ(cudaEventElapsedTime(&ms, start, stop), cudaSuccess);
+  const auto log = cusim::profile_log();
+  cusim::set_profiling(false);
+  ASSERT_EQ(log.size(), 1u);
+  const double truth = log[0].gpu_time;
+  const double measured = static_cast<double>(ms) * 1e-3;
+  EXPECT_GE(measured, truth);
+  EXPECT_LT(measured - truth, 25e-6);  // bracket overhead stays micro-scale
+  cudaEventDestroy(start);
+  cudaEventDestroy(stop);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, EventTimingProperty,
+    ::testing::Values(KernelShape{1, 1, 10, 0}, KernelShape{1, 32, 100, 8},
+                      KernelShape{64, 256, 1000, 64}, KernelShape{1024, 256, 50, 4},
+                      KernelShape{16, 512, 1e6, 0}, KernelShape{4096, 128, 0, 256}));
+
+// Property: conservation of blocking time — for any kernel duration, the
+// (D2H row + @CUDA_HOST_IDLE) total is independent of the host-idle
+// feature, and with the feature on, the idle row captures >= 95 % of the
+// kernel duration.
+class IdleConservation : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdleConservation, IdleCapturesKernelWait) {
+  const double kernel_s = GetParam();
+  const auto run_once = [&](bool idle_on) {
+    fresh();
+    ipm::Config cfg;
+    cfg.host_idle = idle_on;
+    ipm::job_begin(cfg, "./prop");
+    cusim::KernelDef def;
+    def.name = "idle_prop_kernel";
+    def.cost.fixed_us = kernel_s * 1e6;
+    void* dev = nullptr;
+    cudaMalloc(&dev, 1024);
+    char h[1024];
+    EXPECT_EQ(cusim::launch_timed(def, dim3(1), dim3(32)), cudaSuccess);
+    cudaMemcpy(h, dev, 1024, cudaMemcpyDeviceToHost);
+    cudaFree(dev);
+    ipm::rank_finalize();
+    return ipm::job_end();
+  };
+  const ipm::JobProfile on = run_once(true);
+  const ipm::JobProfile off = run_once(false);
+  const auto d2h_plus_idle = [](const ipm::JobProfile& job) {
+    double total = job.ranks.at(0).time_in("IDLE");
+    for (const auto& e : job.ranks.at(0).events) {
+      if (e.name == "cudaMemcpy(D2H)") total += e.tsum;
+    }
+    return total;
+  };
+  EXPECT_NEAR(d2h_plus_idle(on), d2h_plus_idle(off), 1e-5 + 0.001 * kernel_s);
+  EXPECT_GE(on.ranks.at(0).time_in("IDLE"), 0.95 * kernel_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(DurationSweep, IdleConservation,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.5, 2.0));
+
+// Property: collective completion time is monotone in the rank count for a
+// fixed large payload (more ranks, more cost) for rooted linear collectives.
+class GatherScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(GatherScaling, RootTimeGrowsWithRanks) {
+  const int p = GetParam();
+  const auto root_time = [](int ranks) {
+    mpisim::ClusterConfig cfg;
+    cfg.ranks = ranks;
+    double t = 0.0;
+    mpisim::run_cluster(cfg, [&](int rank) {
+      MPI_Init(nullptr, nullptr);
+      std::vector<double> mine(1 << 15, 1.0);
+      std::vector<double> all;
+      if (rank == 0) all.resize(static_cast<std::size_t>(1 << 15) * static_cast<std::size_t>(ranks));
+      const double before = MPI_Wtime();
+      MPI_Gather(mine.data(), 1 << 15, MPI_DOUBLE, rank == 0 ? all.data() : nullptr,
+                 1 << 15, MPI_DOUBLE, 0, MPI_COMM_WORLD);
+      if (rank == 0) t = MPI_Wtime() - before;
+      MPI_Finalize();
+    });
+    return t;
+  };
+  EXPECT_GT(root_time(2 * p), root_time(p) * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, GatherScaling, ::testing::Values(2, 4, 8));
+
+// Property: virtual wallclock of a monitored run never shrinks when the
+// monitor charge grows (dilatation is monotone in the per-event cost).
+class ChargeMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChargeMonotone, DilatationGrowsWithCharge) {
+  const auto wall_with_charge = [](double charge) {
+    fresh();
+    ipm::Config cfg;
+    cfg.monitor_charge = charge;
+    ipm::job_begin(cfg, "./prop");
+    void* dev = nullptr;
+    cudaMalloc(&dev, 1024);
+    char h[1024];
+    for (int i = 0; i < 100; ++i) cudaMemcpy(h, dev, 1024, cudaMemcpyDeviceToHost);
+    cudaFree(dev);
+    ipm::rank_finalize();
+    ipm::job_end();
+    return simx::virtual_now();
+  };
+  const double base = wall_with_charge(0.0);
+  const double charged = wall_with_charge(GetParam());
+  EXPECT_GE(charged, base);
+  // The shift is roughly events x charge (>=102 events recorded).
+  EXPECT_GT(charged - base, 100 * GetParam() * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChargeSweep, ChargeMonotone,
+                         ::testing::Values(1e-7, 1e-6, 1e-5));
+
+}  // namespace
