@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_hostidle_hash.cpp" "bench/CMakeFiles/ablation_hostidle_hash.dir/ablation_hostidle_hash.cpp.o" "gcc" "bench/CMakeFiles/ablation_hostidle_hash.dir/ablation_hostidle_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm_cuda/CMakeFiles/ipm_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm_mpi/CMakeFiles/ipm_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm_blas/CMakeFiles/ipm_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipm_cuda/CMakeFiles/ipm_cuda_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cublassim/CMakeFiles/cublassim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostblas/CMakeFiles/hostblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cufftsim/CMakeFiles/cufftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ktt_policy.dir/ablation_ktt_policy.cpp.o"
+  "CMakeFiles/ablation_ktt_policy.dir/ablation_ktt_policy.cpp.o.d"
+  "ablation_ktt_policy"
+  "ablation_ktt_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ktt_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

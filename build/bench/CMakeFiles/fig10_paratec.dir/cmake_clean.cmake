@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_paratec.dir/fig10_paratec.cpp.o"
+  "CMakeFiles/fig10_paratec.dir/fig10_paratec.cpp.o.d"
+  "fig10_paratec"
+  "fig10_paratec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_paratec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

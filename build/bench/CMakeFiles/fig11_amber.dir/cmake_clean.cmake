@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_amber.dir/fig11_amber.cpp.o"
+  "CMakeFiles/fig11_amber.dir/fig11_amber.cpp.o.d"
+  "fig11_amber"
+  "fig11_amber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_amber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_6_banner_modes.dir/fig4_6_banner_modes.cpp.o"
+  "CMakeFiles/fig4_6_banner_modes.dir/fig4_6_banner_modes.cpp.o.d"
+  "fig4_6_banner_modes"
+  "fig4_6_banner_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_6_banner_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dilatation.dir/fig8_dilatation.cpp.o"
+  "CMakeFiles/fig8_dilatation.dir/fig8_dilatation.cpp.o.d"
+  "fig8_dilatation"
+  "fig8_dilatation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dilatation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

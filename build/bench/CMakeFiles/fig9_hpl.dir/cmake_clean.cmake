@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_hpl.dir/fig9_hpl.cpp.o"
+  "CMakeFiles/fig9_hpl.dir/fig9_hpl.cpp.o.d"
+  "fig9_hpl"
+  "fig9_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amber_md.dir/amber_md.cpp.o"
+  "CMakeFiles/amber_md.dir/amber_md.cpp.o.d"
+  "amber_md"
+  "amber_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amber_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

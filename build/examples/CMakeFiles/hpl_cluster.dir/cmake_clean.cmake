@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_cluster.dir/hpl_cluster.cpp.o"
+  "CMakeFiles/hpl_cluster.dir/hpl_cluster.cpp.o.d"
+  "hpl_cluster"
+  "hpl_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

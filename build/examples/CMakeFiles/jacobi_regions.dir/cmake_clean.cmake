@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_regions.dir/jacobi_regions.cpp.o"
+  "CMakeFiles/jacobi_regions.dir/jacobi_regions.cpp.o.d"
+  "jacobi_regions"
+  "jacobi_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

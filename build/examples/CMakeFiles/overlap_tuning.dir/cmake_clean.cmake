@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_tuning.dir/overlap_tuning.cpp.o"
+  "CMakeFiles/overlap_tuning.dir/overlap_tuning.cpp.o.d"
+  "overlap_tuning"
+  "overlap_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paratec_scaling.dir/paratec_scaling.cpp.o"
+  "CMakeFiles/paratec_scaling.dir/paratec_scaling.cpp.o.d"
+  "paratec_scaling"
+  "paratec_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paratec_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cudasim")
+subdirs("mpisim")
+subdirs("cublassim")
+subdirs("cufftsim")
+subdirs("hostblas")
+subdirs("core")
+subdirs("ipm_cuda")
+subdirs("ipm_mpi")
+subdirs("ipm_blas")
+subdirs("wrapgen")
+subdirs("ipm_parse")
+subdirs("ipm_preload")
+subdirs("apps")

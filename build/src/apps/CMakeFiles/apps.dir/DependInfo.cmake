@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amber.cpp" "src/apps/CMakeFiles/apps.dir/amber.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/amber.cpp.o.d"
+  "/root/repo/src/apps/hpl.cpp" "src/apps/CMakeFiles/apps.dir/hpl.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/hpl.cpp.o.d"
+  "/root/repo/src/apps/paratec.cpp" "src/apps/CMakeFiles/apps.dir/paratec.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/paratec.cpp.o.d"
+  "/root/repo/src/apps/sdk_suite.cpp" "src/apps/CMakeFiles/apps.dir/sdk_suite.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/sdk_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cublassim/CMakeFiles/cublassim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cufftsim/CMakeFiles/cufftsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostblas/CMakeFiles/hostblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/amber.cpp.o"
+  "CMakeFiles/apps.dir/amber.cpp.o.d"
+  "CMakeFiles/apps.dir/hpl.cpp.o"
+  "CMakeFiles/apps.dir/hpl.cpp.o.d"
+  "CMakeFiles/apps.dir/paratec.cpp.o"
+  "CMakeFiles/apps.dir/paratec.cpp.o.d"
+  "CMakeFiles/apps.dir/sdk_suite.cpp.o"
+  "CMakeFiles/apps.dir/sdk_suite.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcommon.dir/clock.cpp.o"
+  "CMakeFiles/simcommon.dir/clock.cpp.o.d"
+  "CMakeFiles/simcommon.dir/str.cpp.o"
+  "CMakeFiles/simcommon.dir/str.cpp.o.d"
+  "CMakeFiles/simcommon.dir/xml.cpp.o"
+  "CMakeFiles/simcommon.dir/xml.cpp.o.d"
+  "libsimcommon.a"
+  "libsimcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

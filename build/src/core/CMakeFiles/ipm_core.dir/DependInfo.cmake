@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hashtable.cpp" "src/core/CMakeFiles/ipm_core.dir/hashtable.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/hashtable.cpp.o.d"
+  "/root/repo/src/core/ipm_c_api.cpp" "src/core/CMakeFiles/ipm_core.dir/ipm_c_api.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/ipm_c_api.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/ipm_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/names.cpp" "src/core/CMakeFiles/ipm_core.dir/names.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/names.cpp.o.d"
+  "/root/repo/src/core/report_banner.cpp" "src/core/CMakeFiles/ipm_core.dir/report_banner.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/report_banner.cpp.o.d"
+  "/root/repo/src/core/report_xml.cpp" "src/core/CMakeFiles/ipm_core.dir/report_xml.cpp.o" "gcc" "src/core/CMakeFiles/ipm_core.dir/report_xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

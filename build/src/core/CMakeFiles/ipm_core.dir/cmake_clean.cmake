@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_core.dir/hashtable.cpp.o"
+  "CMakeFiles/ipm_core.dir/hashtable.cpp.o.d"
+  "CMakeFiles/ipm_core.dir/ipm_c_api.cpp.o"
+  "CMakeFiles/ipm_core.dir/ipm_c_api.cpp.o.d"
+  "CMakeFiles/ipm_core.dir/monitor.cpp.o"
+  "CMakeFiles/ipm_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/ipm_core.dir/names.cpp.o"
+  "CMakeFiles/ipm_core.dir/names.cpp.o.d"
+  "CMakeFiles/ipm_core.dir/report_banner.cpp.o"
+  "CMakeFiles/ipm_core.dir/report_banner.cpp.o.d"
+  "CMakeFiles/ipm_core.dir/report_xml.cpp.o"
+  "CMakeFiles/ipm_core.dir/report_xml.cpp.o.d"
+  "libipm_core.a"
+  "libipm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

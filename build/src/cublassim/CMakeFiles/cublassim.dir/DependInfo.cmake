@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cublassim/cublas.cpp" "src/cublassim/CMakeFiles/cublassim.dir/cublas.cpp.o" "gcc" "src/cublassim/CMakeFiles/cublassim.dir/cublas.cpp.o.d"
+  "/root/repo/src/cublassim/cublas_ext.cpp" "src/cublassim/CMakeFiles/cublassim.dir/cublas_ext.cpp.o" "gcc" "src/cublassim/CMakeFiles/cublassim.dir/cublas_ext.cpp.o.d"
+  "/root/repo/src/cublassim/shared_state.cpp" "src/cublassim/CMakeFiles/cublassim.dir/shared_state.cpp.o" "gcc" "src/cublassim/CMakeFiles/cublassim.dir/shared_state.cpp.o.d"
+  "/root/repo/src/cublassim/thunking.cpp" "src/cublassim/CMakeFiles/cublassim.dir/thunking.cpp.o" "gcc" "src/cublassim/CMakeFiles/cublassim.dir/thunking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostblas/CMakeFiles/hostblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cublassim.dir/cublas.cpp.o"
+  "CMakeFiles/cublassim.dir/cublas.cpp.o.d"
+  "CMakeFiles/cublassim.dir/cublas_ext.cpp.o"
+  "CMakeFiles/cublassim.dir/cublas_ext.cpp.o.d"
+  "CMakeFiles/cublassim.dir/shared_state.cpp.o"
+  "CMakeFiles/cublassim.dir/shared_state.cpp.o.d"
+  "CMakeFiles/cublassim.dir/thunking.cpp.o"
+  "CMakeFiles/cublassim.dir/thunking.cpp.o.d"
+  "libcublassim.a"
+  "libcublassim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cublassim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

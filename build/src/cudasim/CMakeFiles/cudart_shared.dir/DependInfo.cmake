@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/driver_api.cpp" "src/cudasim/CMakeFiles/cudart_shared.dir/driver_api.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudart_shared.dir/driver_api.cpp.o.d"
+  "/root/repo/src/cudasim/engine.cpp" "src/cudasim/CMakeFiles/cudart_shared.dir/engine.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudart_shared.dir/engine.cpp.o.d"
+  "/root/repo/src/cudasim/kernel.cpp" "src/cudasim/CMakeFiles/cudart_shared.dir/kernel.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudart_shared.dir/kernel.cpp.o.d"
+  "/root/repo/src/cudasim/runtime_api.cpp" "src/cudasim/CMakeFiles/cudart_shared.dir/runtime_api.cpp.o" "gcc" "src/cudasim/CMakeFiles/cudart_shared.dir/runtime_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudart_shared.dir/driver_api.cpp.o"
+  "CMakeFiles/cudart_shared.dir/driver_api.cpp.o.d"
+  "CMakeFiles/cudart_shared.dir/engine.cpp.o"
+  "CMakeFiles/cudart_shared.dir/engine.cpp.o.d"
+  "CMakeFiles/cudart_shared.dir/kernel.cpp.o"
+  "CMakeFiles/cudart_shared.dir/kernel.cpp.o.d"
+  "CMakeFiles/cudart_shared.dir/runtime_api.cpp.o"
+  "CMakeFiles/cudart_shared.dir/runtime_api.cpp.o.d"
+  "libsimcudart.pdb"
+  "libsimcudart.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudart_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudasim.dir/driver_api.cpp.o"
+  "CMakeFiles/cudasim.dir/driver_api.cpp.o.d"
+  "CMakeFiles/cudasim.dir/engine.cpp.o"
+  "CMakeFiles/cudasim.dir/engine.cpp.o.d"
+  "CMakeFiles/cudasim.dir/kernel.cpp.o"
+  "CMakeFiles/cudasim.dir/kernel.cpp.o.d"
+  "CMakeFiles/cudasim.dir/runtime_api.cpp.o"
+  "CMakeFiles/cudasim.dir/runtime_api.cpp.o.d"
+  "libcudasim.a"
+  "libcudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

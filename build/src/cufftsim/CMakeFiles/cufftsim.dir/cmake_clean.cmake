@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cufftsim.dir/cufft.cpp.o"
+  "CMakeFiles/cufftsim.dir/cufft.cpp.o.d"
+  "libcufftsim.a"
+  "libcufftsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cufftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostblas.dir/blas.cpp.o"
+  "CMakeFiles/hostblas.dir/blas.cpp.o.d"
+  "libhostblas.a"
+  "libhostblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

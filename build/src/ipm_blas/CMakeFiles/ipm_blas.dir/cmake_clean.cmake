@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_blas.dir/wrappers.cpp.o"
+  "CMakeFiles/ipm_blas.dir/wrappers.cpp.o.d"
+  "libipm_blas.a"
+  "libipm_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipm_cuda/wrappers.cpp" "src/ipm_cuda/CMakeFiles/ipm_cuda.dir/wrappers.cpp.o" "gcc" "src/ipm_cuda/CMakeFiles/ipm_cuda.dir/wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ipm_cuda/CMakeFiles/ipm_cuda_layer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/simcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

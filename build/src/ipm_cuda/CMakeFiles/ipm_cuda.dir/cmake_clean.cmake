@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_cuda.dir/wrappers.cpp.o"
+  "CMakeFiles/ipm_cuda.dir/wrappers.cpp.o.d"
+  "libipm_cuda.a"
+  "libipm_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipm_cuda.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_cuda_layer.dir/layer.cpp.o"
+  "CMakeFiles/ipm_cuda_layer.dir/layer.cpp.o.d"
+  "libipm_cuda_layer.a"
+  "libipm_cuda_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_cuda_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_mpi.dir/wrappers.cpp.o"
+  "CMakeFiles/ipm_mpi.dir/wrappers.cpp.o.d"
+  "libipm_mpi.a"
+  "libipm_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

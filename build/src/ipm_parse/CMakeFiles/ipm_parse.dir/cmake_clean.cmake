@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_parse.dir/main.cpp.o"
+  "CMakeFiles/ipm_parse.dir/main.cpp.o.d"
+  "ipm_parse"
+  "ipm_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

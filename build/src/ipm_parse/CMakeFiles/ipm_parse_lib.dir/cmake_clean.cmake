@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_parse_lib.dir/advisor.cpp.o"
+  "CMakeFiles/ipm_parse_lib.dir/advisor.cpp.o.d"
+  "CMakeFiles/ipm_parse_lib.dir/export.cpp.o"
+  "CMakeFiles/ipm_parse_lib.dir/export.cpp.o.d"
+  "libipm_parse_lib.a"
+  "libipm_parse_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_parse_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

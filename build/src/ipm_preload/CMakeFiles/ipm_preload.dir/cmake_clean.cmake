@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipm_preload.dir/lifecycle.cpp.o"
+  "CMakeFiles/ipm_preload.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/ipm_preload.dir/resolve.cpp.o"
+  "CMakeFiles/ipm_preload.dir/resolve.cpp.o.d"
+  "CMakeFiles/ipm_preload.dir/wrappers.cpp.o"
+  "CMakeFiles/ipm_preload.dir/wrappers.cpp.o.d"
+  "libipm_preload.pdb"
+  "libipm_preload.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipm_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

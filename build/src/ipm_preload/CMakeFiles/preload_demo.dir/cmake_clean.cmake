@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_demo.dir/demo_main.cpp.o"
+  "CMakeFiles/preload_demo.dir/demo_main.cpp.o.d"
+  "preload_demo"
+  "preload_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim.dir/api.cpp.o"
+  "CMakeFiles/mpisim.dir/api.cpp.o.d"
+  "CMakeFiles/mpisim.dir/cluster.cpp.o"
+  "CMakeFiles/mpisim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mpisim.dir/world.cpp.o"
+  "CMakeFiles/mpisim.dir/world.cpp.o.d"
+  "libmpisim.a"
+  "libmpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banner_golden.dir/test_banner_golden.cpp.o"
+  "CMakeFiles/test_banner_golden.dir/test_banner_golden.cpp.o.d"
+  "test_banner_golden"
+  "test_banner_golden.pdb"
+  "test_banner_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banner_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

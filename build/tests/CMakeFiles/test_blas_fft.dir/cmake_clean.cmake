@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_fft.dir/test_blas_fft.cpp.o"
+  "CMakeFiles/test_blas_fft.dir/test_blas_fft.cpp.o.d"
+  "test_blas_fft"
+  "test_blas_fft.pdb"
+  "test_blas_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counters_trace.dir/test_counters_trace.cpp.o"
+  "CMakeFiles/test_counters_trace.dir/test_counters_trace.cpp.o.d"
+  "test_counters_trace"
+  "test_counters_trace.pdb"
+  "test_counters_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counters_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cublas_ext.dir/test_cublas_ext.cpp.o"
+  "CMakeFiles/test_cublas_ext.dir/test_cublas_ext.cpp.o.d"
+  "test_cublas_ext"
+  "test_cublas_ext.pdb"
+  "test_cublas_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cublas_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

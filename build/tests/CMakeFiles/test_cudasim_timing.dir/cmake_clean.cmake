@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cudasim_timing.dir/test_cudasim_timing.cpp.o"
+  "CMakeFiles/test_cudasim_timing.dir/test_cudasim_timing.cpp.o.d"
+  "test_cudasim_timing"
+  "test_cudasim_timing.pdb"
+  "test_cudasim_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cudasim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_cluster.dir/test_integration_cluster.cpp.o"
+  "CMakeFiles/test_integration_cluster.dir/test_integration_cluster.cpp.o.d"
+  "test_integration_cluster"
+  "test_integration_cluster.pdb"
+  "test_integration_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

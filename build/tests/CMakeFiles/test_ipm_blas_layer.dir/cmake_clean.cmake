@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipm_blas_layer.dir/test_ipm_blas_layer.cpp.o"
+  "CMakeFiles/test_ipm_blas_layer.dir/test_ipm_blas_layer.cpp.o.d"
+  "test_ipm_blas_layer"
+  "test_ipm_blas_layer.pdb"
+  "test_ipm_blas_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipm_blas_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipm_cuda_layer.dir/test_ipm_cuda_layer.cpp.o"
+  "CMakeFiles/test_ipm_cuda_layer.dir/test_ipm_cuda_layer.cpp.o.d"
+  "test_ipm_cuda_layer"
+  "test_ipm_cuda_layer.pdb"
+  "test_ipm_cuda_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipm_cuda_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipm_parse.dir/test_ipm_parse.cpp.o"
+  "CMakeFiles/test_ipm_parse.dir/test_ipm_parse.cpp.o.d"
+  "test_ipm_parse"
+  "test_ipm_parse.pdb"
+  "test_ipm_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipm_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

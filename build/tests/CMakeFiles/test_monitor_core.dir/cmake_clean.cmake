@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitor_core.dir/test_monitor_core.cpp.o"
+  "CMakeFiles/test_monitor_core.dir/test_monitor_core.cpp.o.d"
+  "test_monitor_core"
+  "test_monitor_core.pdb"
+  "test_monitor_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

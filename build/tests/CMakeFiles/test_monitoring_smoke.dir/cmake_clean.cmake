@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitoring_smoke.dir/test_monitoring_smoke.cpp.o"
+  "CMakeFiles/test_monitoring_smoke.dir/test_monitoring_smoke.cpp.o.d"
+  "test_monitoring_smoke"
+  "test_monitoring_smoke.pdb"
+  "test_monitoring_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitoring_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

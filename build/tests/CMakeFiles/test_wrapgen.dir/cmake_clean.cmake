@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrapgen.dir/test_wrapgen.cpp.o"
+  "CMakeFiles/test_wrapgen.dir/test_wrapgen.cpp.o.d"
+  "test_wrapgen"
+  "test_wrapgen.pdb"
+  "test_wrapgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrapgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_monitoring_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_hashtable[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cudasim_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_mpisim[1]_include.cmake")
+include("/root/repo/build/tests/test_blas_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_cublas_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_ipm_cuda_layer[1]_include.cmake")
+include("/root/repo/build/tests/test_wrapgen[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_ipm_parse[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_advisor[1]_include.cmake")
+include("/root/repo/build/tests/test_counters_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_ipm_blas_layer[1]_include.cmake")
+include("/root/repo/build/tests/test_banner_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_preload[1]_include.cmake")
