@@ -4,6 +4,10 @@
 // probe.  These are the nanoseconds-per-event numbers behind the paper's
 // "<0.5 % perturbation" claim (§II) and the 0.21 % dilatation of Fig. 8;
 // the measured figure feeds Config::monitor_charge in the Fig. 8 harness.
+//
+// Results are also written to BENCH_hotpath.json (ipm-bench-v1 schema, see
+// bench/support/harness.hpp) so the hot-path perf trajectory is tracked
+// across changes; the bench_smoke ctest target validates the file.
 #include <benchmark/benchmark.h>
 
 #include "cudasim/control.hpp"
@@ -13,6 +17,7 @@
 #include "ipm/monitor.hpp"
 #include "simcommon/clock.hpp"
 #include "simcommon/rng.hpp"
+#include "support/harness.hpp"
 
 namespace {
 
@@ -43,12 +48,86 @@ void BM_HashTableUpdateManyKeys(benchmark::State& state) {
 }
 BENCHMARK(BM_HashTableUpdateManyKeys)->Arg(10)->Arg(13)->Arg(16);
 
+/// Tag-probe hit: find() an existing key in a table under realistic fill.
+void BM_HashTableFindHit(benchmark::State& state) {
+  ipm::PerfHashTable table(13);
+  simx::Xoshiro256 rng(11);
+  ipm::EventKey key{ipm::intern_name("bench_find"), 0, 0, 0};
+  for (int i = 0; i < 2048; ++i) {
+    key.bytes = static_cast<std::uint64_t>(i) * 64;
+    table.update(key, 1e-6);
+  }
+  key.bytes = 1024 * 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(key));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashTableFindHit);
+
+/// Tag-probe miss: find() an absent key — probes tag bytes until the first
+/// empty slot, never touching the key/stats arrays.
+void BM_HashTableFindMiss(benchmark::State& state) {
+  ipm::PerfHashTable table(13);
+  ipm::EventKey key{ipm::intern_name("bench_find"), 0, 0, 0};
+  for (int i = 0; i < 2048; ++i) {
+    key.bytes = static_cast<std::uint64_t>(i) * 64;
+    table.update(key, 1e-6);
+  }
+  ipm::EventKey missing{ipm::intern_name("bench_absent"), 7, 1, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(missing));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashTableFindMiss);
+
+/// Monitor::update by NameId: the stage-1 name mix is recomputed per call.
+void BM_MonitorUpdate(benchmark::State& state) {
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "bench");
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::NameId name = ipm::intern_name("bench_monitor");
+  for (auto _ : state) {
+    mon->update(name, 1e-6, 4096, 0);
+  }
+  ipm::job_end();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorUpdate);
+
+/// Monitor::update by PreparedKey: only bytes/region/select folded per call
+/// (the path the generated wrappers use).
+void BM_MonitorUpdatePrepared(benchmark::State& state) {
+  simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "bench");
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::PreparedKey key = ipm::prepare_key("bench_monitor_prepared");
+  for (auto _ : state) {
+    mon->update(key, 1e-6, 4096, 0);
+  }
+  ipm::job_end();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorUpdatePrepared);
+
+/// Interning read path: re-interning an existing name (lock-free snapshot
+/// lookup; this is what dynamically named call sites pay per call).
 void BM_InternName(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ipm::intern_name("cudaMemcpy(D2H)"));
   }
 }
 BENCHMARK(BM_InternName);
+
+/// Reverse lookup read path (report generation, KTT name resolution).
+void BM_NameOf(benchmark::State& state) {
+  const ipm::NameId id = ipm::intern_name("cudaMemcpy(H2D)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ipm::name_of(id));
+  }
+}
+BENCHMARK(BM_NameOf);
 
 /// Full wrapped-call path: this binary is linked with --wrap, so the
 /// cudaStreamQuery below goes through the generated wrapper, the timed_call
@@ -118,4 +197,43 @@ void BM_WrappedSyncMemcpyD2H(benchmark::State& state) {
 }
 BENCHMARK(BM_WrappedSyncMemcpyD2H);
 
+/// Console output as usual, plus collection of every run for the JSON
+/// trajectory file.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      benchx::BenchResult r;
+      r.name = run.benchmark_name();
+      r.iterations = run.iterations;
+      if (run.iterations > 0) {
+        r.ns_per_op =
+            run.real_accumulated_time / static_cast<double>(run.iterations) * 1e9;
+      }
+      for (const auto& [key, counter] : run.counters) {
+        r.counters.emplace_back(key, counter.value);
+      }
+      results.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<benchx::BenchResult> results;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!benchx::write_bench_json("BENCH_hotpath.json", "micro_overhead",
+                                reporter.results)) {
+    std::fprintf(stderr, "micro_overhead: cannot write BENCH_hotpath.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,8 +5,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cudasim/control.hpp"
@@ -66,6 +70,67 @@ inline double family_time(const ipm::JobProfile& job, const std::string& family)
 
 inline void print_rule() {
   std::puts("-------------------------------------------------------------------------");
+}
+
+// --- benchmark JSON trajectory ----------------------------------------------
+//
+// Micro-benchmark results are persisted as BENCH_<suite>.json so the perf
+// trajectory of the monitoring hot path can be compared across changes.
+// Schema ("ipm-bench-v1"):
+//   { "schema": "ipm-bench-v1", "suite": "<name>",
+//     "benchmarks": [ { "name": "...", "iterations": N, "ns_per_op": X,
+//                       "counters": { "<key>": V, ... } }, ... ] }
+
+struct BenchResult {
+  std::string name;
+  std::int64_t iterations = 0;
+  double ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names never need these
+    out += c;
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+/// Write `results` to `path` in the ipm-bench-v1 schema.  Returns false if
+/// the file cannot be written.
+inline bool write_bench_json(const std::string& path, const std::string& suite,
+                             const std::vector<BenchResult>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"schema\": \"ipm-bench-v1\",\n  \"suite\": \""
+      << detail::json_escape(suite) << "\",\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << detail::json_escape(r.name)
+        << "\", \"iterations\": " << r.iterations
+        << ", \"ns_per_op\": " << detail::json_number(r.ns_per_op) << ", \"counters\": {";
+    for (std::size_t k = 0; k < r.counters.size(); ++k) {
+      out << (k == 0 ? "" : ", ") << "\"" << detail::json_escape(r.counters[k].first)
+          << "\": " << detail::json_number(r.counters[k].second);
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace benchx

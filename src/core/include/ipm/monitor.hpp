@@ -103,10 +103,18 @@ class Monitor {
   void update(NameId name, double duration, std::uint64_t bytes = 0,
               std::int32_t select = 0) noexcept;
 
+  /// Fast path: the name's stage-1 hash is precomputed, only the per-call
+  /// fields are folded here (see EventKey::finish).
+  void update(const PreparedKey& key, double duration, std::uint64_t bytes = 0,
+              std::int32_t select = 0) noexcept;
+
   /// Record an event into an explicit region (deferred measurements such
   /// as kernel-timing-table completions happened while *another* region
   /// was active; they carry the region captured at launch time).
   void update_in_region(NameId name, double duration, std::uint32_t region,
+                        std::uint64_t bytes = 0, std::int32_t select = 0) noexcept;
+
+  void update_in_region(const PreparedKey& key, double duration, std::uint32_t region,
                         std::uint64_t bytes = 0, std::int32_t select = 0) noexcept;
 
   /// Region stack (MPI_Pcontrol-style user regions).
@@ -187,6 +195,23 @@ auto timed_event(NameId name, std::uint64_t bytes, std::int32_t select, Fn&& fn)
   } else {
     auto ret = fn();
     mon->update(name, gettime() - begin, bytes, select);
+    return ret;
+  }
+}
+
+/// PreparedKey variant: the call site interns and pre-hashes the name once
+/// (static local), so the per-call path never re-mixes the name.
+template <typename Fn>
+auto timed_event(const PreparedKey& key, std::uint64_t bytes, std::int32_t select, Fn&& fn) {
+  Monitor* mon = monitor();
+  if (mon == nullptr) return fn();
+  const double begin = gettime();
+  if constexpr (std::is_void_v<decltype(fn())>) {
+    fn();
+    mon->update(key, gettime() - begin, bytes, select);
+  } else {
+    auto ret = fn();
+    mon->update(key, gettime() - begin, bytes, select);
     return ret;
   }
 }

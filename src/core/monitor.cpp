@@ -120,14 +120,25 @@ void Monitor::update(NameId name, double duration, std::uint64_t bytes,
   update_in_region(name, duration, region_stack_.back(), bytes, select);
 }
 
+void Monitor::update(const PreparedKey& key, double duration, std::uint64_t bytes,
+                     std::int32_t select) noexcept {
+  update_in_region(key, duration, region_stack_.back(), bytes, select);
+}
+
 void Monitor::update_in_region(NameId name, double duration, std::uint32_t region,
                                std::uint64_t bytes, std::int32_t select) noexcept {
-  EventKey key;
-  key.name = name;
-  key.region = region;
-  key.bytes = bytes;
-  key.select = select;
-  table_.update(key, duration);
+  update_in_region(prepare_key(name), duration, region, bytes, select);
+}
+
+void Monitor::update_in_region(const PreparedKey& key, double duration,
+                               std::uint32_t region, std::uint64_t bytes,
+                               std::int32_t select) noexcept {
+  EventKey full;
+  full.name = key.name;
+  full.region = region;
+  full.bytes = bytes;
+  full.select = select;
+  table_.update_hashed(full, EventKey::finish(key.pre, region, bytes, select), duration);
   if (cfg_.monitor_charge > 0.0) {
     // Model IPM's own perturbation of the application (Fig. 8 experiment).
     simx::current_context().clock.advance(cfg_.monitor_charge);

@@ -27,6 +27,15 @@ std::atomic<std::uint64_t> g_bytes_d2h{0};
 
 }  // namespace
 
+CtxExec& DeviceState::ctx_exec_slot(std::uint64_t ctx_id) {
+  for (CtxExec& e : ctx_exec) {
+    if (e.ctx_id == ctx_id) return e;
+  }
+  CtxExec& slot = ctx_exec.emplace_back();
+  slot.ctx_id = ctx_id;
+  return slot;
+}
+
 Engine& Engine::instance() {
   static Engine engine;
   return engine;
@@ -332,13 +341,19 @@ cudaError_t Engine::launch(const KernelDef* def, const LaunchGeom& geom,
     } else {
       start = std::max(start, c.legacy_fence);
     }
+    CtxExec* mine = c.exec_cache_dev == &dev ? c.exec_cache : nullptr;
+    if (mine == nullptr) {
+      mine = &dev.ctx_exec_slot(c.ctx_id);
+      c.exec_cache = mine;
+      c.exec_cache_dev = &dev;
+    }
     // Fermi: contexts never share the execution engine — a kernel waits for
     // every other context's outstanding kernels (GPU sharing, paper §I.5).
-    for (const auto& [other_ctx, end_time] : dev.ctx_exec_end) {
-      if (other_ctx != c.ctx_id) start = std::max(start, end_time);
+    for (const CtxExec& other : dev.ctx_exec) {
+      if (&other != mine) start = std::max(start, other.exec_end);
     }
     // Concurrency cap within this context (16 concurrent kernels on Fermi).
-    auto& active = dev.ctx_active_kernels[c.ctx_id];
+    auto& active = mine->active_kernels;
     std::erase_if(active, [&](double end_time) { return end_time <= start; });
     if (static_cast<int>(active.size()) >= topo_.device.max_concurrent_kernels) {
       std::sort(active.begin(), active.end());
@@ -351,8 +366,7 @@ cudaError_t Engine::launch(const KernelDef* def, const LaunchGeom& geom,
     active.push_back(end);
     s->busy_until = std::max(s->busy_until, end);
     if (s->index == 0) c.legacy_fence = std::max(c.legacy_fence, end);
-    auto& horizon = dev.ctx_exec_end[c.ctx_id];
-    horizon = std::max(horizon, end);
+    mine->exec_end = std::max(mine->exec_end, end);
     // Hardware-counter accumulation (exact for the cost model).
     const double work_threads =
         static_cast<double>(geom.total_threads()) * std::max(1.0, def->cost.serial_iterations);
@@ -539,8 +553,13 @@ cudaError_t Engine::device_sync() {
   {
     DeviceState& dev = device_of(c);
     std::scoped_lock lk(dev.mu);
-    const auto it = dev.ctx_exec_end.find(c.ctx_id);
-    if (it != dev.ctx_exec_end.end()) target = std::max(target, it->second);
+    const CtxExec* mine = c.exec_cache_dev == &dev ? c.exec_cache : nullptr;
+    if (mine == nullptr) {
+      for (const CtxExec& e : dev.ctx_exec) {
+        if (e.ctx_id == c.ctx_id) { mine = &e; break; }
+      }
+    }
+    if (mine != nullptr) target = std::max(target, mine->exec_end);
   }
   simx::current_context().clock.advance_to(target);
   return cudaSuccess;

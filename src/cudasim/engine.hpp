@@ -55,6 +55,15 @@ void detail_note_kernel(const KernelDef* def);
 
 namespace cusim::detail {
 
+/// Per-context execution bookkeeping on one device: the kernel-execution
+/// horizon (for Fermi cross-context serialization) and recent kernel
+/// end-times (for the 16-kernel concurrency cap).
+struct CtxExec {
+  std::uint64_t ctx_id = 0;
+  double exec_end = 0.0;
+  std::vector<double> active_kernels;
+};
+
 /// Per-device shared state (one per physical simulated GPU).
 struct DeviceState {
   std::mutex mu;
@@ -65,10 +74,13 @@ struct DeviceState {
   std::unordered_map<const void*, std::size_t> allocs;  // device ptr -> size
   double engine_free_h2d = 0.0;
   double engine_free_d2h = 0.0;
-  // Per-context kernel-execution horizon (for cross-context serialization)
-  // and recent kernel end-times (for the 16-kernel concurrency cap).
-  std::unordered_map<std::uint64_t, double> ctx_exec_end;
-  std::unordered_map<std::uint64_t, std::vector<double>> ctx_active_kernels;
+  /// One entry per context that has launched on this device.  A deque so
+  /// entries have stable addresses: each CudaContext caches a pointer to
+  /// its slot instead of re-hashing a map on every launch, and the Fermi
+  /// cross-context scan is a walk over a handful of contiguous-ish slots.
+  std::deque<CtxExec> ctx_exec;
+  /// Find-or-append the slot for `ctx_id`.  `mu` must be held.
+  CtxExec& ctx_exec_slot(std::uint64_t ctx_id);
   DeviceCounters counters;
 };
 
@@ -90,6 +102,13 @@ struct CudaContext {
     std::size_t args_bytes = 0;
     int args_count = 0;
   } pending;
+
+  /// Cached pointer to this context's CtxExec slot, valid only while the
+  /// context still resolves to `exec_cache_dev` (cudaSetDevice moves the
+  /// context to another device; cusim::configure destroys contexts and
+  /// devices together, so the cache cannot outlive its device).
+  CtxExec* exec_cache = nullptr;
+  const DeviceState* exec_cache_dev = nullptr;
 
   CUstream_st* default_stream() { return streams[0].get(); }
 };

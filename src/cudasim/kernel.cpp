@@ -1,6 +1,7 @@
 #include "cudasim/kernel.hpp"
 
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 
 namespace cusim {
@@ -8,7 +9,10 @@ namespace cusim {
 namespace {
 thread_local std::function<void(const LaunchGeom&)> t_pending_body;
 
-std::mutex g_seen_mu;
+// Reader/writer lock: kernel_name runs once per launch on every rank (the
+// monitoring layer resolves @CUDA_EXEC names at launch time), while new
+// KernelDef registrations are rare — readers must not serialize.
+std::shared_mutex g_seen_mu;
 std::unordered_set<const KernelDef*> g_seen_kernels;
 }  // namespace
 
@@ -23,14 +27,18 @@ std::function<void(const LaunchGeom&)> detail_take_pending_body() {
 }
 
 void detail_note_kernel(const KernelDef* def) {
-  std::scoped_lock lk(g_seen_mu);
+  {
+    std::shared_lock rd(g_seen_mu);
+    if (g_seen_kernels.count(def) != 0) return;
+  }
+  std::unique_lock wr(g_seen_mu);
   g_seen_kernels.insert(def);
 }
 
 const char* kernel_name(const void* func) noexcept {
   const auto* def = static_cast<const KernelDef*>(func);
   {
-    std::scoped_lock lk(g_seen_mu);
+    std::shared_lock rd(g_seen_mu);
     if (g_seen_kernels.count(def) == 0) return "<unknown>";
   }
   return def->name.c_str();

@@ -27,15 +27,15 @@ namespace ipm::cuda {
 /// Transfer direction used for display-name tagging.
 enum class Dir { kNone, kH2H, kH2D, kD2H, kD2D };
 
-/// Direction-tagged display names for one memcpy-like call, interned once
-/// per wrapper (static local in the generated code).
+/// Direction-tagged display names for one memcpy-like call, interned and
+/// pre-hashed once per wrapper (static local in the generated code).
 struct DirNames {
-  NameId plain, h2h, h2d, d2h, d2d;
+  PreparedKey plain, h2h, h2d, d2h, d2d;
 };
 
 [[nodiscard]] DirNames make_dir_names(const char* base);
 [[nodiscard]] Dir dir_of(cudaMemcpyKind kind) noexcept;
-[[nodiscard]] NameId pick(const DirNames& names, Dir dir) noexcept;
+[[nodiscard]] PreparedKey pick(const DirNames& names, Dir dir) noexcept;
 
 /// Statistics counters of the CUDA layer (for tests and ablations).
 struct LayerStats {
@@ -65,30 +65,33 @@ void ktt_drain(Monitor& mon);
 // --- wrapper policy helpers (called from generated code) --------------------
 
 namespace detail {
-void record(Monitor& mon, NameId name, double duration, std::uint64_t bytes,
+void record(Monitor& mon, const PreparedKey& key, double duration, std::uint64_t bytes,
             std::int32_t select);
 void maybe_poll_on_call(Monitor& mon);
 void host_idle_probe(Monitor& mon, cudaStream_t stream);
 /// Claim a KTT slot and record the *start* event (before the launch).
 /// Returns the slot index or -1 (table exhausted / events unavailable).
-int ktt_begin(Monitor& mon, const void* func, cudaStream_t stream);
+int ktt_begin(Monitor& mon, cudaStream_t stream);
 /// Record the *stop* event after the launch, arming the slot for polling.
-void ktt_end(Monitor& mon, int slot);
+/// Resolves the kernel's display name *now* (the launch just registered it
+/// with the simulator); the slot must not keep `func`, which may point at a
+/// stack-local KernelDef that is gone by drain time.
+void ktt_end(Monitor& mon, int slot, const void* func);
 }  // namespace detail
 
-/// Fig. 2: time the real call and record it under `name`.
+/// Fig. 2: time the real call and record it under `key`.
 template <typename Fn>
-auto timed_call(NameId name, std::uint64_t bytes, std::int32_t select, Fn&& fn) {
+auto timed_call(const PreparedKey& key, std::uint64_t bytes, std::int32_t select, Fn&& fn) {
   Monitor* mon = ipm::monitor();
   if (mon == nullptr) return fn();
   detail::maybe_poll_on_call(*mon);
   const double begin = ipm::gettime();
   if constexpr (std::is_void_v<decltype(fn())>) {
     fn();
-    detail::record(*mon, name, ipm::gettime() - begin, bytes, select);
+    detail::record(*mon, key, ipm::gettime() - begin, bytes, select);
   } else {
     auto ret = fn();
-    detail::record(*mon, name, ipm::gettime() - begin, bytes, select);
+    detail::record(*mon, key, ipm::gettime() - begin, bytes, select);
     return ret;
   }
 }
@@ -119,17 +122,17 @@ auto wrap_memcpy(const DirNames& names, std::uint64_t bytes, Dir dir, bool sync,
 /// Kernel-launch wrapper: insert a KTT entry bracketing the launch with
 /// start/stop events, then time the (asynchronous) launch call itself.
 template <typename Fn>
-auto wrap_launch(NameId name, const void* func, cudaStream_t stream, Fn&& fn) {
+auto wrap_launch(const PreparedKey& key, const void* func, cudaStream_t stream, Fn&& fn) {
   Monitor* mon = ipm::monitor();
   if (mon == nullptr) return fn();
   detail::maybe_poll_on_call(*mon);
   const bool time_kernel = mon->config().kernel_timing;
   const double begin = ipm::gettime();
-  const int slot = time_kernel ? detail::ktt_begin(*mon, func, stream) : -1;
+  const int slot = time_kernel ? detail::ktt_begin(*mon, stream) : -1;
   auto ret = fn();
-  if (slot >= 0) detail::ktt_end(*mon, slot);
+  if (slot >= 0) detail::ktt_end(*mon, slot, func);
   const double end = ipm::gettime();
-  detail::record(*mon, name, end - begin, 0, 0);
+  detail::record(*mon, key, end - begin, 0, 0);
   return ret;
 }
 

@@ -28,8 +28,18 @@ struct KttEntry {
   cudaEvent_t start = nullptr;
   cudaEvent_t stop = nullptr;
   cudaStream_t stream = nullptr;
-  const void* func = nullptr;
+  /// @CUDA_EXEC display name, resolved at ktt_end while the launch handle is
+  /// still alive (it may point at a stack-local KernelDef).
+  PreparedKey exec_key{};
   std::uint32_t region = 0;  ///< user region active at launch time
+};
+
+/// Cached @CUDA_EXEC key for one launch handle.  The handle address can be
+/// reused for a *different* kernel (stack-local KernelDefs), so the cache
+/// remembers the name it resolved and re-resolves on mismatch.
+struct ExecName {
+  std::string kernel;  ///< cusim kernel name the cache entry was built from
+  PreparedKey key{};
 };
 
 /// Per-rank CUDA layer state, stowed in Monitor::layer_data.
@@ -37,8 +47,8 @@ struct State {
   std::array<KttEntry, kKttSlots> ktt;
   int next_slot_hint = 0;
   cudaStream_t configured_stream = nullptr;
-  std::unordered_map<const void*, NameId> exec_names;
-  NameId idle_name = 0;
+  std::unordered_map<const void*, ExecName> exec_names;
+  PreparedKey idle_name{};
   LayerStats stats;
   bool in_layer = false;  ///< reentrancy guard for probe-triggered wrappers
   double bracket_overhead = -1.0;  ///< calibrated empty-bracket duration (<0: not yet)
@@ -71,7 +81,7 @@ double calibrate_bracket_overhead() {
 State& state(Monitor& mon) {
   if (mon.layer_data == nullptr) {
     auto* s = new State();
-    s->idle_name = intern_name("@CUDA_HOST_IDLE");
+    s->idle_name = prepare_key("@CUDA_HOST_IDLE");
     mon.layer_data = s;
     mon.layer_data_deleter = [](void* p) { delete static_cast<State*>(p); };
     mon.add_finalize_hook([&mon] { ktt_drain(mon); });
@@ -79,13 +89,15 @@ State& state(Monitor& mon) {
   return *static_cast<State*>(mon.layer_data);
 }
 
-NameId exec_name(State& s, const void* func, cudaStream_t /*stream*/) {
+/// Resolve the @CUDA_EXEC key for a launch handle.  Must run while `func`
+/// is still a live KernelDef (i.e. at launch time, not at drain time).
+PreparedKey exec_key(State& s, const void* func) {
+  const char* kernel = cusim::kernel_name(func);
   const auto it = s.exec_names.find(func);
-  if (it != s.exec_names.end()) return it->second;
-  const NameId id =
-      intern_name(std::string("@CUDA_EXEC:") + cusim::kernel_name(func));
-  s.exec_names.emplace(func, id);
-  return id;
+  if (it != s.exec_names.end() && it->second.kernel == kernel) return it->second.key;
+  const PreparedKey key = prepare_key(std::string("@CUDA_EXEC:") + kernel);
+  s.exec_names[func] = ExecName{kernel, key};
+  return key;
 }
 
 /// Record one completed KTT entry and free its slot.
@@ -100,23 +112,23 @@ void ktt_record(Monitor& mon, State& s, KttEntry& e) {
     // Attribute to the region that was active when the kernel was
     // *launched* — completion is detected much later (often in another
     // region), but the work belongs where the launch happened.
-    mon.update_in_region(exec_name(s, e.func, e.stream), duration, e.region, 0,
+    mon.update_in_region(e.exec_key, duration, e.region, 0,
                          cusim::stream_index(e.stream));
     s.stats.ktt_completed += 1;
   }
   e.armed = false;
-  e.func = nullptr;
+  e.exec_key = PreparedKey{};
 }
 
 }  // namespace
 
 DirNames make_dir_names(const char* base) {
   DirNames n;
-  n.plain = intern_name(base);
-  n.h2h = intern_name(simx::strprintf("%s(H2H)", base));
-  n.h2d = intern_name(simx::strprintf("%s(H2D)", base));
-  n.d2h = intern_name(simx::strprintf("%s(D2H)", base));
-  n.d2d = intern_name(simx::strprintf("%s(D2D)", base));
+  n.plain = prepare_key(base);
+  n.h2h = prepare_key(simx::strprintf("%s(H2H)", base));
+  n.h2d = prepare_key(simx::strprintf("%s(H2D)", base));
+  n.d2h = prepare_key(simx::strprintf("%s(D2H)", base));
+  n.d2d = prepare_key(simx::strprintf("%s(D2D)", base));
   return n;
 }
 
@@ -130,7 +142,7 @@ Dir dir_of(cudaMemcpyKind kind) noexcept {
   }
 }
 
-NameId pick(const DirNames& names, Dir dir) noexcept {
+PreparedKey pick(const DirNames& names, Dir dir) noexcept {
   switch (dir) {
     case Dir::kH2H: return names.h2h;
     case Dir::kH2D: return names.h2d;
@@ -173,9 +185,9 @@ LayerStats layer_stats(Monitor& mon) { return state(mon).stats; }
 
 namespace detail {
 
-void record(Monitor& mon, NameId name, double duration, std::uint64_t bytes,
+void record(Monitor& mon, const PreparedKey& key, double duration, std::uint64_t bytes,
             std::int32_t select) {
-  mon.update(name, duration, bytes, select);
+  mon.update(key, duration, bytes, select);
 }
 
 void maybe_poll_on_call(Monitor& mon) {
@@ -200,7 +212,7 @@ void host_idle_probe(Monitor& mon, cudaStream_t stream) {
   }
 }
 
-int ktt_begin(Monitor& mon, const void* func, cudaStream_t stream) {
+int ktt_begin(Monitor& mon, cudaStream_t stream) {
   State& s = state(mon);
   for (int probe = 0; probe < kKttSlots; ++probe) {
     const int idx = (s.next_slot_hint + probe) % kKttSlots;
@@ -216,7 +228,6 @@ int ktt_begin(Monitor& mon, const void* func, cudaStream_t stream) {
     if (cudasim_real_cudaEventRecord(e.start, stream) != cudaSuccess) return -1;
     e.start_only = true;
     e.stream = stream;
-    e.func = func;
     e.region = mon.current_region();
     s.next_slot_hint = (idx + 1) % kKttSlots;
     s.stats.ktt_inserts += 1;
@@ -226,11 +237,14 @@ int ktt_begin(Monitor& mon, const void* func, cudaStream_t stream) {
   return -1;
 }
 
-void ktt_end(Monitor& mon, int slot) {
+void ktt_end(Monitor& mon, int slot, const void* func) {
   State& s = state(mon);
   KttEntry& e = s.ktt[static_cast<std::size_t>(slot)];
   if (!e.start_only) return;
   e.start_only = false;
+  // Resolve the display name now: the launch has just registered the kernel
+  // with the simulator, and `func` may not survive past this call.
+  e.exec_key = exec_key(s, func);
   if (cudasim_real_cudaEventRecord(e.stop, e.stream) == cudaSuccess) e.armed = true;
 }
 

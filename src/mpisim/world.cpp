@@ -21,6 +21,10 @@ World::World(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   comms_.push_back(std::move(world));
   coll_seq_.resize(static_cast<std::size_t>(cfg_.ranks));
   mailbox_.resize(static_cast<std::size_t>(cfg_.ranks));
+  recv_cv_.reserve(static_cast<std::size_t>(cfg_.ranks));
+  for (int r = 0; r < cfg_.ranks; ++r) {
+    recv_cv_.push_back(std::make_unique<std::condition_variable>());
+  }
 }
 
 void World::bind_thread(World* world, int rank) {
@@ -95,9 +99,9 @@ int World::collective(int comm_id, const void* sbuf, void* rbuf, ComputeFn&& com
     // so it is safe to perform the data movement on their behalf.
     compute(comm, slot);
     slot.computed = true;
-    cv_.notify_all();
+    slot.cv.notify_all();
   } else {
-    cv_.wait(lk, [&] { return slot.computed; });
+    slot.cv.wait(lk, [&] { return slot.computed; });
   }
   simx::current_context().clock.advance_to(slot.completion[ume]);
   if (iresult != nullptr) *iresult = slot.iresults[ume];
@@ -407,7 +411,7 @@ int World::send(int comm_id, const void* buf, std::size_t bytes, int dest, int t
     *req_out = req.get();
     reqs_.push_back(std::move(req));
   }
-  cv_.notify_all();
+  recv_cv_[static_cast<std::size_t>(dest_world)]->notify_all();
   return MPI_SUCCESS;
 }
 
@@ -423,7 +427,7 @@ int World::recv(int comm_id, void* buf, std::size_t max_bytes, int src, int tag,
   for (;;) {
     it = std::find_if(box.begin(), box.end(), matches);
     if (it != box.end()) break;
-    cv_.wait(lk);
+    recv_cv_[static_cast<std::size_t>(t_rank)]->wait(lk);
   }
   if (it->data.size() > max_bytes) return MPI_ERR_COUNT;
   std::memcpy(buf, it->data.data(), it->data.size());
@@ -436,8 +440,9 @@ int World::recv(int comm_id, void* buf, std::size_t max_bytes, int src, int tag,
     status->MPI_ERROR = MPI_SUCCESS;
     status->count_bytes = it->data.size();
   }
+  // No notification needed: only this rank's thread ever waits on its own
+  // mailbox, and it is running right now.
   box.erase(it);
-  cv_.notify_all();
   return MPI_SUCCESS;
 }
 

@@ -1,10 +1,14 @@
 // Internal world state of mpisim (not installed).
 //
 // Concurrency design: all communication state is guarded by one mutex per
-// World plus a single condition variable.  At the scales this simulator
-// targets (≤ a few hundred rank threads, mostly blocked), this is simpler
-// and safer than fine-grained locking, and the virtual-time cost model —
-// not lock throughput — determines every reported number.
+// World, but wakeups are targeted: each collective rendezvous slot carries
+// its own condition variable (participants of one collective never wake
+// participants of another), and each rank has a dedicated receive condvar
+// that senders notify directly.  With one world-wide condvar every send
+// woke *all* blocked ranks (a thundering herd that grows with rank count);
+// per-slot/per-rank condvars keep wakeups O(1) per event.  The virtual-time
+// cost model — not lock throughput — still determines every reported
+// number.
 //
 // Determinism: collective completion times are pure functions of the
 // participants' virtual arrival times, so they are schedule-independent.
@@ -35,6 +39,10 @@ struct CollSlot {
   int arrived = 0;
   int released = 0;
   bool computed = false;
+  /// Woken only by this collective's last arriver.  Safe to destroy with
+  /// the slot: the last releaser erases it, and by then every waiter has
+  /// returned from wait() (released is incremented after waking).
+  std::condition_variable cv;
   std::vector<double> arrival;       // indexed by comm-local rank
   std::vector<const void*> sendbufs;
   std::vector<void*> recvbufs;
@@ -145,11 +153,13 @@ class World {
 
   ClusterConfig cfg_;
   std::mutex mu_;
-  std::condition_variable cv_;
   std::deque<Comm> comms_;  // [0] = world; deque: stable refs across push_back
   std::map<std::pair<int, std::uint64_t>, std::unique_ptr<CollSlot>> slots_;
   std::vector<std::map<int, std::uint64_t>> coll_seq_;  // per rank, per comm
   std::vector<std::deque<Envelope>> mailbox_;           // per-destination (world rank)
+  /// Per-destination receive condvars (parallel to mailbox_): a send
+  /// notifies exactly the destination rank.
+  std::vector<std::unique_ptr<std::condition_variable>> recv_cv_;
   std::deque<std::unique_ptr<mpisim_request>> reqs_;    // owns all requests
 };
 

@@ -243,29 +243,29 @@ std::string emit_body(const SpecFile& spec, const CallSpec& c,
              ", " + stream_expr(c) + ", " + lambda + ");\n";
       break;
     case CallKind::kLaunch:
-      out += "  static const ipm::NameId kName = ipm::intern_name(\"" + c.name + "\");\n";
-      out += "  return ipm::cuda::wrap_launch(kName, " + c.func_arg + ", " +
+      out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
+      out += "  return ipm::cuda::wrap_launch(kKey, " + c.func_arg + ", " +
              stream_expr(c) + ", " + lambda + ");\n";
       break;
     case CallKind::kConfigure:
-      out += "  static const ipm::NameId kName = ipm::intern_name(\"" + c.name + "\");\n";
+      out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  ipm::cuda::note_configured_stream(" + c.stream_arg + ");\n";
-      out += "  return " + spec.timed_helper + "(kName, 0, 0, " + lambda + ");\n";
+      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
       break;
     case CallKind::kInit:
-      out += "  static const ipm::NameId kName = ipm::intern_name(\"" + c.name + "\");\n";
+      out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  (void)ipm::monitor();  // start monitoring this rank\n";
-      out += "  return " + spec.timed_helper + "(kName, 0, 0, " + lambda + ");\n";
+      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
       break;
     case CallKind::kFinalize:
-      out += "  static const ipm::NameId kName = ipm::intern_name(\"" + c.name + "\");\n";
-      out += "  auto ret = " + spec.timed_helper + "(kName, 0, 0, " + lambda + ");\n";
+      out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
+      out += "  auto ret = " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
       out += "  if (ipm::has_monitor()) ipm::rank_finalize();\n";
       out += "  return ret;\n";
       break;
     case CallKind::kPlain:
-      out += "  static const ipm::NameId kName = ipm::intern_name(\"" + c.name + "\");\n";
-      out += "  return " + spec.timed_helper + "(kName, static_cast<std::uint64_t>(" +
+      out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
+      out += "  return " + spec.timed_helper + "(kKey, static_cast<std::uint64_t>(" +
              c.bytes_expr + "), static_cast<std::int32_t>(" + c.select_expr + "), " +
              lambda + ");\n";
       break;

@@ -3,6 +3,8 @@
 // suite's Table I invocation counts.
 #include <gtest/gtest.h>
 
+#include <mutex>
+
 #include "apps/amber.hpp"
 #include "apps/hpl.hpp"
 #include "apps/paratec.hpp"

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "ipm/hashtable.hpp"
 #include "simcommon/rng.hpp"
@@ -95,6 +96,95 @@ TEST(PerfHashTable, ForEachVisitsEverything) {
   });
   EXPECT_EQ(seen.size(), 50u);
   EXPECT_DOUBLE_EQ(total, 50 * 0.25);
+}
+
+/// Brute-force `n` distinct keys whose home slot (hash & mask) is `home`.
+std::vector<EventKey> cluster_keys(std::size_t n, std::size_t home, std::size_t mask) {
+  std::vector<EventKey> out;
+  for (std::uint64_t b = 1; out.size() < n; ++b) {
+    EventKey k = key_of(b);
+    if ((k.hash() & mask) == home) out.push_back(k);
+  }
+  return out;
+}
+
+TEST(PerfHashTable, CollisionClusterProbeStepsAccounting) {
+  PerfHashTable table(4);  // 16 slots
+  const auto cluster = cluster_keys(8, 3, table.capacity() - 1);
+  for (const EventKey& k : cluster) ASSERT_TRUE(table.update(k, 1.0));
+  // All 8 share home slot 3, so they occupy displacements 0..7:
+  // inserting costs 0+1+...+7 probe steps.
+  EXPECT_EQ(table.probe_steps(), 28u);
+  // Updating each again walks the same chain once more.
+  for (const EventKey& k : cluster) ASSERT_TRUE(table.update(k, 1.0));
+  EXPECT_EQ(table.probe_steps(), 56u);
+  for (const EventKey& k : cluster) {
+    const EventStats* st = table.find(k);
+    ASSERT_NE(st, nullptr);
+    EXPECT_EQ(st->count, 2u);
+  }
+  EXPECT_EQ(table.overflow(), 0u);
+}
+
+TEST(PerfHashTable, ProbeChainWrapsAroundTableEnd) {
+  PerfHashTable table(4);  // 16 slots
+  const std::size_t last = table.capacity() - 1;
+  const auto cluster = cluster_keys(3, last, table.capacity() - 1);
+  for (const EventKey& k : cluster) ASSERT_TRUE(table.update(k, 1.0));
+  // Home slot is the last one: the chain wraps to slots 0 and 1.
+  EXPECT_EQ(table.probe_steps(), 0u + 1u + 2u);
+  for (const EventKey& k : cluster) ASSERT_NE(table.find(k), nullptr);
+  // clear() must also reset the wrapped state: reinsert and find again.
+  table.clear();
+  EXPECT_EQ(table.probe_steps(), 0u);
+  for (const EventKey& k : cluster) ASSERT_TRUE(table.update(k, 2.0));
+  for (const EventKey& k : cluster) {
+    const EventStats* st = table.find(k);
+    ASSERT_NE(st, nullptr);
+    EXPECT_DOUBLE_EQ(st->tsum, 2.0);
+  }
+}
+
+TEST(PerfHashTable, FullTableKeepsOneFreeSlotForever) {
+  PerfHashTable table(4);
+  for (std::uint64_t b = 0; b < 15; ++b) ASSERT_TRUE(table.update(key_of(b), 1.0));
+  EXPECT_EQ(table.size(), table.capacity() - 1);
+  // Every further new signature is dropped and counted, no matter how often.
+  for (std::uint64_t b = 100; b < 105; ++b) {
+    EXPECT_FALSE(table.update(key_of(b), 1.0));
+    EXPECT_EQ(table.find(key_of(b)), nullptr);
+  }
+  EXPECT_EQ(table.overflow(), 5u);
+  EXPECT_EQ(table.size(), table.capacity() - 1);
+  // Existing signatures keep aggregating at saturation.
+  for (std::uint64_t b = 0; b < 15; ++b) ASSERT_TRUE(table.update(key_of(b), 1.0));
+  EXPECT_EQ(table.find(key_of(7))->count, 2u);
+}
+
+TEST(PerfHashTable, ClearResetsOverflowAndProbeSteps) {
+  PerfHashTable table(4);
+  const auto cluster = cluster_keys(4, 0, table.capacity() - 1);
+  for (const EventKey& k : cluster) table.update(k, 1.0);
+  for (std::uint64_t b = 0; b < 40; ++b) table.update(key_of(b + 1000000), 1.0);
+  EXPECT_GT(table.probe_steps(), 0u);
+  EXPECT_GT(table.overflow(), 0u);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.overflow(), 0u);
+  EXPECT_EQ(table.probe_steps(), 0u);
+}
+
+TEST(PreparedKeyPath, AgreesWithPlainHash) {
+  const EventKey k{ipm::intern_name("prepared_agree"), 3, 4096, -2};
+  const ipm::PreparedKey p = ipm::prepare_key(k.name);
+  EXPECT_EQ(ipm::EventKey::finish(p.pre, k.region, k.bytes, k.select), k.hash());
+  // The two update paths must land in the same slot.
+  PerfHashTable table(6);
+  ASSERT_TRUE(table.update(k, 1.0));
+  ASSERT_TRUE(table.update_hashed(
+      k, ipm::EventKey::finish(p.pre, k.region, k.bytes, k.select), 1.0));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(k)->count, 2u);
 }
 
 TEST(PerfHashTable, SizeClampedToSaneRange) {

@@ -2,11 +2,16 @@
 // classification, banner structure, and XML log round-tripping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
+#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "ipm/report.hpp"
 #include "simcommon/clock.hpp"
+#include "simcommon/rng.hpp"
 
 namespace {
 
@@ -45,6 +50,72 @@ TEST(MonitorCore, UpdateAggregatesIntoSnapshot) {
   EXPECT_DOUBLE_EQ(e.tmin, 0.10);
   EXPECT_DOUBLE_EQ(e.tmax, 0.75);
   EXPECT_EQ(e.bytes, 1024u * 2 + 2048u);
+}
+
+// Regression oracle for the tagged SoA hash table + staged hashing: a
+// randomized event stream, alternating the NameId and PreparedKey update
+// paths, must aggregate exactly like a naive std::map keyed on the merged
+// snapshot signature (name, region, select).
+TEST(MonitorCore, RandomStreamMatchesMapOracle) {
+  ipm::Config cfg;
+  cfg.table_log2_slots = 6;  // 64 slots — small, but the stream stays under it
+  ipm::Monitor& m = fresh(cfg);
+
+  const std::array<const char*, 4> names = {"oracle_MPI_Send", "oracle_MPI_Recv",
+                                            "oracle_memcpy", "oracle_gemm"};
+  std::array<ipm::NameId, 4> ids{};
+  std::array<ipm::PreparedKey, 4> prepared{};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ids[i] = ipm::intern_name(names[i]);
+    prepared[i] = ipm::prepare_key(ids[i]);
+  }
+
+  struct Agg {
+    std::uint64_t count = 0;
+    double tsum = 0.0, tmin = 0.0, tmax = 0.0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::tuple<std::string, std::uint32_t, std::int32_t>, Agg> oracle;
+
+  simx::Xoshiro256 rng(20260806);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t which = rng.uniform_u64(names.size());
+    const std::int32_t select = static_cast<std::int32_t>(rng.uniform_u64(3));
+    const std::uint64_t bytes = (1 + rng.uniform_u64(4)) * 4096;
+    const double dur = static_cast<double>(1 + rng.uniform_u64(1000)) * 1e-6;
+    if (i % 2 == 0) {
+      m.update(ids[which], dur, bytes, select);
+    } else {
+      m.update(prepared[which], dur, bytes, select);
+    }
+    Agg& a = oracle[{names[which], 0, select}];
+    if (a.count == 0) {
+      a.tmin = a.tmax = dur;
+    } else {
+      a.tmin = std::min(a.tmin, dur);
+      a.tmax = std::max(a.tmax, dur);
+    }
+    a.count += 1;
+    a.tsum += dur;
+    a.bytes += bytes;
+  }
+
+  const ipm::RankProfile p = ipm::rank_finalize();
+  ipm::job_end();
+  EXPECT_EQ(p.table_overflow, 0u);
+  ASSERT_EQ(p.events.size(), oracle.size());
+  for (const ipm::EventRecord& e : p.events) {
+    const auto it = oracle.find({e.name, e.region, e.select});
+    ASSERT_NE(it, oracle.end()) << e.name << " region=" << e.region
+                                << " select=" << e.select;
+    const Agg& a = it->second;
+    EXPECT_EQ(e.count, a.count) << e.name;
+    EXPECT_EQ(e.bytes, a.bytes) << e.name;
+    EXPECT_DOUBLE_EQ(e.tmin, a.tmin) << e.name;
+    EXPECT_DOUBLE_EQ(e.tmax, a.tmax) << e.name;
+    // Summation order differs between the per-slot table and the oracle.
+    EXPECT_NEAR(e.tsum, a.tsum, 1e-9 * a.tsum) << e.name;
+  }
 }
 
 TEST(MonitorCore, RegionsAttributeEvents) {

@@ -88,8 +88,8 @@ TEST(WrapgenEmit, WrapModeStructure) {
   EXPECT_NE(out.find("extern \"C\" int __wrap_myFn(const void* p, int n)"),
             std::string::npos);
   EXPECT_NE(out.find("real_myFn(p, n)"), std::string::npos);
-  EXPECT_NE(out.find("t::call(kName"), std::string::npos);
-  EXPECT_NE(out.find("ipm::intern_name(\"myFn\")"), std::string::npos);
+  EXPECT_NE(out.find("t::call(kKey"), std::string::npos);
+  EXPECT_NE(out.find("ipm::prepare_key(\"myFn\")"), std::string::npos);
 }
 
 TEST(WrapgenEmit, PreloadModeResolvesDynamically) {
