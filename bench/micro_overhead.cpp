@@ -111,6 +111,34 @@ void BM_MonitorUpdatePrepared(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorUpdatePrepared);
 
+/// Traced variant of the prepared-key path: hash-table update plus one
+/// trace-ring append per event (the cost of Config::trace on the hot
+/// path).  Acceptance: <= 2x BM_MonitorUpdatePrepared.
+void BM_MonitorUpdateTraced(benchmark::State& state) {
+  simx::reset_default_context();
+  ipm::Config cfg;
+  cfg.trace = true;  // default ring size (2^16): the shipped configuration
+  ipm::job_begin(cfg, "bench");
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::PreparedKey key = ipm::prepare_key("bench_monitor_traced");
+  ipm::TraceRing* ring = mon->trace_ring();
+  const std::size_t cap = ring->capacity();
+  std::size_t n = 0;
+  for (auto _ : state) {
+    mon->update(key, 1e-6, 4096, 0);
+    mon->trace_span(key.name, 0.0, 1e-6, 4096, 0);
+    // Recycle the ring at capacity so every iteration measures a real
+    // append, not the drop path.
+    if (++n == cap) {
+      ring->clear();
+      n = 0;
+    }
+  }
+  ipm::job_end();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorUpdateTraced);
+
 /// Interning read path: re-interning an existing name (lock-free snapshot
 /// lookup; this is what dynamically named call sites pay per call).
 void BM_InternName(benchmark::State& state) {

@@ -68,6 +68,7 @@ foreach(required
     BM_HashTableFindMiss
     BM_MonitorUpdate
     BM_MonitorUpdatePrepared
+    BM_MonitorUpdateTraced
     BM_InternName
     BM_NameOf
     BM_WrappedCudaCall)

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ipm/hashtable.hpp"
+#include "ipm/trace.hpp"
 
 namespace ipm {
 
@@ -46,6 +47,15 @@ struct Config {
   /// Emit the report automatically when the monitored thread exits (the
   /// LD_PRELOAD scenario, where no harness calls job_end explicitly).
   bool report_at_exit = false;
+  /// Per-rank event tracing (trace.hpp): every monitored event additionally
+  /// appends a timestamped record to a bounded ring, flushed to a per-rank
+  /// JSONL file at finalize and referenced from the XML log.
+  bool trace = false;
+  /// Ring holds 2^trace_log2_records records per rank (drops counted beyond).
+  unsigned trace_log2_records = 16;
+  /// Trace file prefix ("" derives from log_path, or "ipm_trace"); rank N
+  /// flushes to "<prefix>.rank<N>.jsonl".
+  std::string trace_path;
 };
 
 /// Populate a Config from IPM_* environment variables
@@ -73,6 +83,9 @@ struct RankProfile {
   double stop = 0.0;
   std::uint64_t mem_bytes = 0;
   std::uint64_t table_overflow = 0;
+  std::string trace_file;           ///< per-rank trace file ("" = not traced)
+  std::uint64_t trace_spans = 0;    ///< records flushed to trace_file
+  std::uint64_t trace_drops = 0;    ///< records dropped (ring full)
   std::vector<EventRecord> events;
   std::vector<std::string> regions;  ///< region id -> name
 
@@ -117,6 +130,33 @@ class Monitor {
   void update_in_region(const PreparedKey& key, double duration, std::uint32_t region,
                         std::uint64_t bytes = 0, std::int32_t select = 0) noexcept;
 
+  /// True when this monitor keeps a trace ring (Config::trace).  Wrappers
+  /// branch on this before computing span arguments, so the untraced hot
+  /// path pays one predictable-branch pointer test.
+  [[nodiscard]] bool tracing() const noexcept { return trace_ring_ != nullptr; }
+
+  /// Append one span to the trace ring (no-op without a ring).  `dur` must
+  /// be the exact duration folded into the hash table so trace sums
+  /// conserve EventStats totals.  Never blocks, never allocates.
+  void trace_span(NameId name, double t0, double dur, std::uint64_t bytes = 0,
+                  std::int32_t select = 0,
+                  TraceKind kind = TraceKind::kHost) noexcept {
+    if (trace_ring_ == nullptr) return;
+    trace_span_in_region(name, t0, dur, region_stack_.back(), bytes, select, kind);
+  }
+
+  /// Explicit-region variant (deferred kernel-timing completions carry the
+  /// region captured at launch time, like update_in_region).
+  void trace_span_in_region(NameId name, double t0, double dur, std::uint32_t region,
+                            std::uint64_t bytes = 0, std::int32_t select = 0,
+                            TraceKind kind = TraceKind::kHost) noexcept {
+    if (trace_ring_ == nullptr) return;
+    trace_ring_->push(TraceRecord{t0, dur, name, region, bytes, select, kind});
+  }
+
+  [[nodiscard]] TraceRing* trace_ring() noexcept { return trace_ring_.get(); }
+  [[nodiscard]] const TraceRing* trace_ring() const noexcept { return trace_ring_.get(); }
+
   /// Region stack (MPI_Pcontrol-style user regions).
   void region_begin(const std::string& name);
   void region_end();
@@ -146,6 +186,7 @@ class Monitor {
   friend RankProfile rank_finalize();
   Config cfg_;
   PerfHashTable table_;
+  std::unique_ptr<TraceRing> trace_ring_;  ///< present iff cfg_.trace
   double start_;
   std::uint64_t mem_bytes_ = 0;
   std::vector<std::uint32_t> region_stack_;
@@ -180,6 +221,11 @@ JobProfile job_end();
 /// Virtual wallclock of the calling rank (the get_time() of Fig. 2).
 [[nodiscard]] double gettime() noexcept;
 
+/// Instant lifecycle marker (MPI_Init / MPI_Finalize) on the calling
+/// rank's trace; no-op when the rank is not tracing.  Called from
+/// generated wrappers (wrapgen emits it for init/finalize-kind calls).
+void trace_lifecycle_marker(const PreparedKey& key) noexcept;
+
 /// Generic Fig. 2 wrapper body: begin/end timers around the real call plus
 /// UPDATE_DATA.  Used by the generated MPI and BLAS/FFT wrappers; the CUDA
 /// layer has its own variant that additionally services the kernel timing
@@ -191,10 +237,14 @@ auto timed_event(NameId name, std::uint64_t bytes, std::int32_t select, Fn&& fn)
   const double begin = gettime();
   if constexpr (std::is_void_v<decltype(fn())>) {
     fn();
-    mon->update(name, gettime() - begin, bytes, select);
+    const double dur = gettime() - begin;
+    mon->update(name, dur, bytes, select);
+    if (mon->tracing()) mon->trace_span(name, begin, dur, bytes, select);
   } else {
     auto ret = fn();
-    mon->update(name, gettime() - begin, bytes, select);
+    const double dur = gettime() - begin;
+    mon->update(name, dur, bytes, select);
+    if (mon->tracing()) mon->trace_span(name, begin, dur, bytes, select);
     return ret;
   }
 }
@@ -208,10 +258,14 @@ auto timed_event(const PreparedKey& key, std::uint64_t bytes, std::int32_t selec
   const double begin = gettime();
   if constexpr (std::is_void_v<decltype(fn())>) {
     fn();
-    mon->update(key, gettime() - begin, bytes, select);
+    const double dur = gettime() - begin;
+    mon->update(key, dur, bytes, select);
+    if (mon->tracing()) mon->trace_span(key.name, begin, dur, bytes, select);
   } else {
     auto ret = fn();
-    mon->update(key, gettime() - begin, bytes, select);
+    const double dur = gettime() - begin;
+    mon->update(key, dur, bytes, select);
+    if (mon->tracing()) mon->trace_span(key.name, begin, dur, bytes, select);
     return ret;
   }
 }

@@ -1,0 +1,142 @@
+// Per-rank event tracing (timeline view of the monitoring data).
+//
+// The hash table (hashtable.hpp) aggregates events and deliberately
+// discards the timeline; modern GPU-fleet diagnosis is timeline-first, so
+// the trace subsystem keeps the *when*: every monitored event can also be
+// appended to a bounded per-rank ring of TraceRecords.  The ring follows
+// the same predictable-overhead philosophy as the fixed-size hash table —
+// allocated once at monitor creation, never grows, never blocks; when it
+// fills, further records are dropped and counted (`drops`), never
+// overwriting history (the head of a run is where initialization bugs
+// live).
+//
+// One ring per rank, written only by the owning rank thread (the monitor
+// is thread-local), so pushes are wait-free single-producer appends; the
+// ring is drained once, at rank finalize, on the same thread.  At flush
+// the records are resolved (NameId -> string, region id -> name) and
+// written to a per-rank JSONL file that `ipm_parse --trace` merges into a
+// single Chrome-tracing JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipm/key.hpp"
+
+namespace ipm {
+
+/// Lane classification of a trace record.  Host API calls, device kernel
+/// intervals and host-idle probes render on different timeline lanes; a
+/// marker is an instant (zero-duration) lifecycle annotation.
+enum class TraceKind : std::uint8_t {
+  kHost = 0,    ///< wrapper-bracketed host call (MPI/CUDA/CUBLAS/CUFFT)
+  kKernel = 1,  ///< @CUDA_EXEC device interval (event-resolved start/stop)
+  kIdle = 2,    ///< @CUDA_HOST_IDLE implicit-blocking probe
+  kMarker = 3,  ///< instant lifecycle marker (MPI_Init / MPI_Finalize)
+};
+
+/// One trace record.  Stores start + duration (not start/stop): the
+/// duration double is byte-identical to the one folded into EventStats, so
+/// per-key span sums conserve the hash-table totals exactly.
+struct TraceRecord {
+  double t0 = 0.0;      ///< virtual start time (host or device, see kind)
+  double dur = 0.0;     ///< duration as recorded into the hash table
+  NameId name = 0;
+  std::uint32_t region = 0;
+  std::uint64_t bytes = 0;
+  std::int32_t select = 0;  ///< direction / stream index / peer rank
+  TraceKind kind = TraceKind::kHost;
+};
+
+/// Bounded single-producer append buffer of TraceRecords.
+///
+/// push() is wait-free and allocation-free: one bounds check, one struct
+/// store, one release store of the count.  The count is atomic so a
+/// concurrent *reader* (tests, a future sampling exporter) sees fully
+/// written records; the producing rank thread itself needs no fences.
+class TraceRing {
+ public:
+  /// Ring holds 2^log2_records records (clamped to [4, 24] bits).
+  explicit TraceRing(unsigned log2_records);
+
+  /// Append one record; returns false (and counts a drop) when full.
+  bool push(const TraceRecord& rec) noexcept {
+    const std::size_t idx = count_.load(std::memory_order_relaxed);
+    if (idx >= cap_) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[idx] = rec;
+    count_.store(idx + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const TraceRecord& operator[](std::size_t i) const noexcept {
+    return slots_[i];
+  }
+
+  /// Forget all records and drops (benchmark reuse; not used on live rings).
+  void clear() noexcept {
+    count_.store(0, std::memory_order_release);
+    drops_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<TraceRecord[]> slots_;
+  std::size_t cap_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> drops_{0};
+};
+
+// --- flushed form ------------------------------------------------------------
+
+/// A resolved span: names and regions as strings, so a trace file is
+/// meaningful outside the producing process (NameIds are process-local).
+struct TraceSpan {
+  std::string name;
+  std::string region;
+  double t0 = 0.0;
+  double dur = 0.0;
+  std::uint64_t bytes = 0;
+  std::int32_t select = 0;
+  TraceKind kind = TraceKind::kHost;
+
+  [[nodiscard]] double t1() const noexcept { return t0 + dur; }
+};
+
+/// One rank's flushed trace (the content of one per-rank JSONL file).
+struct RankTrace {
+  int rank = 0;
+  std::string hostname;
+  double start = 0.0;  ///< rank monitoring start (virtual seconds)
+  double stop = 0.0;
+  std::uint64_t drops = 0;
+  std::vector<TraceSpan> spans;
+};
+
+/// Resolve the ring into a RankTrace (NameId -> string via name_of,
+/// region id -> name via `regions`).  Not for the hot path.
+[[nodiscard]] RankTrace resolve_trace(const TraceRing& ring,
+                                      const std::vector<std::string>& regions);
+
+/// Per-rank trace file path: "<prefix>.rank<N>.jsonl".
+[[nodiscard]] std::string trace_file_path(const std::string& prefix, int rank);
+
+/// Write / read one rank's trace file.  Format: line 1 is a header object
+/// {"ipm_trace":1,"rank":..,"host":..,"start":..,"stop":..,"drops":..},
+/// then one JSON object per span.  Throws std::runtime_error on I/O errors
+/// or malformed input.
+void write_trace_file(const std::string& path, const RankTrace& trace);
+[[nodiscard]] RankTrace read_trace_file(const std::string& path);
+
+}  // namespace ipm

@@ -1,6 +1,7 @@
 #include "ipm/monitor.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -102,11 +103,17 @@ Config config_from_env(Config base) {
   if (const char* v = getenv_str("IPM_HASH_BITS")) {
     base.table_log2_slots = static_cast<unsigned>(simx::parse_i64(v));
   }
+  if (const char* v = getenv_str("IPM_TRACE")) base.trace = std::string(v) != "0";
+  if (const char* v = getenv_str("IPM_TRACE_RECORDS")) {
+    base.trace_log2_records = static_cast<unsigned>(simx::parse_i64(v));
+  }
+  if (const char* v = getenv_str("IPM_TRACE_PATH")) base.trace_path = v;
   return base;
 }
 
 Monitor::Monitor(const Config& cfg)
     : cfg_(cfg), table_(cfg.table_log2_slots), start_(simx::virtual_now()) {
+  if (cfg_.trace) trace_ring_ = std::make_unique<TraceRing>(cfg_.trace_log2_records);
   region_stack_.push_back(0);
   regions_.emplace_back("ipm_global");
 }
@@ -181,6 +188,10 @@ RankProfile Monitor::snapshot() const {
   p.stop = simx::virtual_now();
   p.mem_bytes = mem_bytes_;
   p.table_overflow = table_.overflow();
+  if (trace_ring_ != nullptr) {
+    p.trace_spans = trace_ring_->size();
+    p.trace_drops = trace_ring_->drops();
+  }
   p.regions = regions_;
   // Merge slots that differ only in bytes into one record per
   // (name, region, select); keep byte totals.
@@ -241,11 +252,55 @@ TlsOwner::~TlsOwner() {
   if (job().cfg.report_at_exit) report_job_at_exit();
 }
 
+namespace {
+
+/// Trace file prefix for a config: explicit trace_path, else derived from
+/// the XML log path (profile.xml -> profile_trace), else "ipm_trace".
+std::string trace_prefix(const Config& cfg) {
+  if (!cfg.trace_path.empty()) return cfg.trace_path;
+  if (!cfg.log_path.empty()) {
+    std::string base = cfg.log_path;
+    if (base.size() > 4 && base.compare(base.size() - 4, 4, ".xml") == 0) {
+      base.resize(base.size() - 4);
+    }
+    return base + "_trace";
+  }
+  return "ipm_trace";
+}
+
+/// Resolve + write the rank's ring at finalize; records the file (and the
+/// flushed/dropped counts) in the profile so the XML log references it.
+/// A failed flush loses the timeline, never the profile.
+void flush_trace(Monitor& m, RankProfile& p) {
+  const std::string path = trace_file_path(trace_prefix(m.config()), p.rank);
+  try {
+    RankTrace t = resolve_trace(*m.trace_ring(), p.regions);
+    t.rank = p.rank;
+    t.hostname = p.hostname;
+    t.start = p.start;
+    t.stop = p.stop;
+    write_trace_file(path, t);
+    p.trace_file = path;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipm: trace flush failed: %s\n", e.what());
+  }
+}
+
+}  // namespace
+
+void trace_lifecycle_marker(const PreparedKey& key) noexcept {
+  if (!has_monitor()) return;
+  Monitor* m = monitor();
+  if (m == nullptr || !m->tracing()) return;
+  m->trace_span(key.name, gettime(), 0.0, 0, 0, TraceKind::kMarker);
+}
+
 RankProfile rank_finalize() {
   Monitor* m = has_monitor() ? t_owner.monitor.get() : nullptr;
   if (m == nullptr) return RankProfile{};
   for (const auto& hook : m->finalize_hooks_) hook();
   RankProfile p = m->snapshot();
+  if (m->tracing()) flush_trace(*m, p);
   {
     JobState& s = job();
     std::scoped_lock lk(s.mu);

@@ -197,6 +197,21 @@ void write_banner(std::ostream& os, const JobProfile& job, const BannerOptions& 
                     static_cast<unsigned long long>(row.count), row.pct_wall);
   }
   os << "#\n";
+  std::uint64_t trace_spans = 0;
+  std::uint64_t trace_drops = 0;
+  bool traced = false;
+  for (const RankProfile& r : job.ranks) {
+    if (r.trace_file.empty() && r.trace_drops == 0) continue;
+    traced = true;
+    trace_spans += r.trace_spans;
+    trace_drops += r.trace_drops;
+  }
+  if (traced) {
+    os << strprintf("# trace      : %llu spans in %d per-rank files, %llu dropped (ring full)\n",
+                    static_cast<unsigned long long>(trace_spans), job.nranks,
+                    static_cast<unsigned long long>(trace_drops));
+    os << "#\n";
+  }
   os << "#################################################################\n";
 }
 

@@ -17,12 +17,19 @@ void write_xml(std::ostream& os, const JobProfile& job) {
                  {"start", simx::strprintf("%.9f", job.start)},
                  {"stop", simx::strprintf("%.9f", job.stop)}});
   for (const RankProfile& r : job.ranks) {
-    w.open("task", {{"rank", std::to_string(r.rank)},
-                    {"host", r.hostname},
-                    {"start", simx::strprintf("%.9f", r.start)},
-                    {"stop", simx::strprintf("%.9f", r.stop)},
-                    {"mem_bytes", std::to_string(r.mem_bytes)},
-                    {"overflow", std::to_string(r.table_overflow)}});
+    std::vector<std::pair<std::string, std::string>> attrs{
+        {"rank", std::to_string(r.rank)},
+        {"host", r.hostname},
+        {"start", simx::strprintf("%.9f", r.start)},
+        {"stop", simx::strprintf("%.9f", r.stop)},
+        {"mem_bytes", std::to_string(r.mem_bytes)},
+        {"overflow", std::to_string(r.table_overflow)}};
+    if (!r.trace_file.empty() || r.trace_drops != 0) {
+      attrs.emplace_back("trace", r.trace_file);
+      attrs.emplace_back("trace_spans", std::to_string(r.trace_spans));
+      attrs.emplace_back("trace_drops", std::to_string(r.trace_drops));
+    }
+    w.open("task", attrs);
     // Group events per region so the log mirrors IPM's region structure.
     for (std::uint32_t region = 0; region < r.regions.size(); ++region) {
       bool any = false;
@@ -73,6 +80,11 @@ JobProfile parse_xml(const std::string& doc) {
     r.mem_bytes = static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("mem_bytes", "0")));
     r.table_overflow =
         static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("overflow", "0")));
+    r.trace_file = task->attr_or("trace", "");
+    r.trace_spans =
+        static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("trace_spans", "0")));
+    r.trace_drops =
+        static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("trace_drops", "0")));
     for (const auto* region : task->children_named("region")) {
       const auto id = static_cast<std::uint32_t>(simx::parse_i64(region->attr("id")));
       while (r.regions.size() <= id) r.regions.emplace_back("ipm_global");

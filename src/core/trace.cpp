@@ -1,0 +1,172 @@
+#include "ipm/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "simcommon/str.hpp"
+
+namespace ipm {
+
+namespace {
+
+constexpr unsigned kMinLog2 = 4;
+constexpr unsigned kMaxLog2 = 24;  // 16M records ≈ 768 MB: the sane ceiling
+
+const char* kind_str(TraceKind k) {
+  switch (k) {
+    case TraceKind::kKernel: return "kernel";
+    case TraceKind::kIdle: return "idle";
+    case TraceKind::kMarker: return "marker";
+    default: return "host";
+  }
+}
+
+TraceKind kind_from(const std::string& s) {
+  if (s == "kernel") return TraceKind::kKernel;
+  if (s == "idle") return TraceKind::kIdle;
+  if (s == "marker") return TraceKind::kMarker;
+  return TraceKind::kHost;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names never need these
+    out += c;
+  }
+  return out;
+}
+
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out += s[i];
+  }
+  return out;
+}
+
+/// Minimal field extraction from one flat JSON object line *we* wrote
+/// (fixed key set, no nesting).  Returns false when the key is absent.
+bool find_field(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    // String value: scan to the closing unescaped quote.
+    std::size_t end = pos + 1;
+    while (end < line.size() && !(line[end] == '"' && line[end - 1] != '\\')) ++end;
+    if (end >= line.size()) return false;
+    out = json_unescape(std::string_view(line).substr(pos + 1, end - pos - 1));
+  } else {
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    out = simx::trim(std::string_view(line).substr(pos, end - pos));
+  }
+  return true;
+}
+
+double num_field(const std::string& line, const char* key, double fallback) {
+  std::string v;
+  return find_field(line, key, v) ? simx::parse_double(v) : fallback;
+}
+
+std::int64_t int_field(const std::string& line, const char* key, std::int64_t fallback) {
+  std::string v;
+  return find_field(line, key, v) ? simx::parse_i64(v) : fallback;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(unsigned log2_records) {
+  const unsigned bits = std::clamp(log2_records, kMinLog2, kMaxLog2);
+  cap_ = std::size_t{1} << bits;
+  slots_ = std::make_unique<TraceRecord[]>(cap_);
+}
+
+RankTrace resolve_trace(const TraceRing& ring, const std::vector<std::string>& regions) {
+  RankTrace t;
+  t.drops = ring.drops();
+  const std::size_t n = ring.size();
+  t.spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceRecord& r = ring[i];
+    TraceSpan s;
+    s.name = name_of(r.name);
+    s.region = r.region < regions.size() ? regions[r.region] : "ipm_global";
+    s.t0 = r.t0;
+    s.dur = r.dur;
+    s.bytes = r.bytes;
+    s.select = r.select;
+    s.kind = r.kind;
+    t.spans.push_back(std::move(s));
+  }
+  return t;
+}
+
+std::string trace_file_path(const std::string& prefix, int rank) {
+  return simx::strprintf("%s.rank%d.jsonl", prefix.c_str(), rank);
+}
+
+void write_trace_file(const std::string& path, const RankTrace& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("ipm: cannot open trace file '" + path + "'");
+  // %.17g round-trips doubles, keeping the flushed trace conservation-exact
+  // with the in-memory ring (the oracle tests rely on this).
+  out << simx::strprintf(
+      "{\"ipm_trace\":1,\"rank\":%d,\"host\":\"%s\",\"start\":%.17g,\"stop\":%.17g,"
+      "\"drops\":%llu,\"spans\":%zu}\n",
+      trace.rank, json_escape(trace.hostname).c_str(), trace.start, trace.stop,
+      static_cast<unsigned long long>(trace.drops), trace.spans.size());
+  for (const TraceSpan& s : trace.spans) {
+    out << simx::strprintf(
+        "{\"t0\":%.17g,\"dur\":%.17g,\"name\":\"%s\",\"region\":\"%s\",\"bytes\":%llu,"
+        "\"select\":%d,\"kind\":\"%s\"}\n",
+        s.t0, s.dur, json_escape(s.name).c_str(), json_escape(s.region).c_str(),
+        static_cast<unsigned long long>(s.bytes), s.select, kind_str(s.kind));
+  }
+  if (!out) throw std::runtime_error("ipm: write failed for trace file '" + path + "'");
+}
+
+RankTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ipm: cannot open trace file '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line.find("\"ipm_trace\":1") == std::string::npos) {
+    throw std::runtime_error("ipm: '" + path + "' is not an IPM trace file");
+  }
+  RankTrace t;
+  t.rank = static_cast<int>(int_field(line, "rank", 0));
+  find_field(line, "host", t.hostname);
+  t.start = num_field(line, "start", 0.0);
+  t.stop = num_field(line, "stop", 0.0);
+  t.drops = static_cast<std::uint64_t>(int_field(line, "drops", 0));
+  while (std::getline(in, line)) {
+    if (simx::trim(line).empty()) continue;
+    TraceSpan s;
+    if (!find_field(line, "name", s.name)) {
+      throw std::runtime_error("ipm: malformed trace line in '" + path + "'");
+    }
+    find_field(line, "region", s.region);
+    s.t0 = num_field(line, "t0", 0.0);
+    s.dur = num_field(line, "dur", 0.0);
+    s.bytes = static_cast<std::uint64_t>(int_field(line, "bytes", 0));
+    s.select = static_cast<std::int32_t>(int_field(line, "select", 0));
+    std::string kind;
+    find_field(line, "kind", kind);
+    s.kind = kind_from(kind);
+    t.spans.push_back(std::move(s));
+  }
+  return t;
+}
+
+}  // namespace ipm

@@ -65,8 +65,11 @@ void ktt_drain(Monitor& mon);
 // --- wrapper policy helpers (called from generated code) --------------------
 
 namespace detail {
-void record(Monitor& mon, const PreparedKey& key, double duration, std::uint64_t bytes,
-            std::int32_t select);
+/// UPDATE_DATA plus (when tracing) a span at `begin` with the *same*
+/// duration folded into the hash table, so trace sums conserve totals.
+void record(Monitor& mon, const PreparedKey& key, double begin, double duration,
+            std::uint64_t bytes, std::int32_t select,
+            TraceKind kind = TraceKind::kHost);
 void maybe_poll_on_call(Monitor& mon);
 void host_idle_probe(Monitor& mon, cudaStream_t stream);
 /// Claim a KTT slot and record the *start* event (before the launch).
@@ -88,10 +91,10 @@ auto timed_call(const PreparedKey& key, std::uint64_t bytes, std::int32_t select
   const double begin = ipm::gettime();
   if constexpr (std::is_void_v<decltype(fn())>) {
     fn();
-    detail::record(*mon, key, ipm::gettime() - begin, bytes, select);
+    detail::record(*mon, key, begin, ipm::gettime() - begin, bytes, select);
   } else {
     auto ret = fn();
-    detail::record(*mon, key, ipm::gettime() - begin, bytes, select);
+    detail::record(*mon, key, begin, ipm::gettime() - begin, bytes, select);
     return ret;
   }
 }
@@ -115,7 +118,7 @@ auto wrap_memcpy(const DirNames& names, std::uint64_t bytes, Dir dir, bool sync,
   const double begin = ipm::gettime();
   auto ret = fn();
   const double end = ipm::gettime();
-  detail::record(*mon, pick(names, dir), end - begin, bytes, 0);
+  detail::record(*mon, pick(names, dir), begin, end - begin, bytes, 0);
   return ret;
 }
 
@@ -132,7 +135,7 @@ auto wrap_launch(const PreparedKey& key, const void* func, cudaStream_t stream, 
   auto ret = fn();
   if (slot >= 0) detail::ktt_end(*mon, slot, func);
   const double end = ipm::gettime();
-  detail::record(*mon, key, end - begin, 0, 0);
+  detail::record(*mon, key, begin, end - begin, 0, 0);
   return ret;
 }
 

@@ -52,6 +52,12 @@ struct State {
   LayerStats stats;
   bool in_layer = false;  ///< reentrancy guard for probe-triggered wrappers
   double bracket_overhead = -1.0;  ///< calibrated empty-bracket duration (<0: not yet)
+  /// Trace epoch: a synchronized reference event plus the host time observed
+  /// right after its sync.  Kernel spans get absolute device start times as
+  /// epoch_host + elapsed(epoch, start) — cudaEventElapsedTime is the only
+  /// sanctioned way to read device timestamps (error <= one sync overhead).
+  cudaEvent_t epoch = nullptr;
+  double epoch_host = -1.0;
 };
 
 /// Calibrate the constant cost of an empty start/stop event bracket by
@@ -100,6 +106,22 @@ PreparedKey exec_key(State& s, const void* func) {
   return key;
 }
 
+/// Establish the trace epoch: record + sync one reference event, then read
+/// the host clock (the sync advanced it to the event's completion, so
+/// epoch_host matches the event's device timestamp to within one sync
+/// overhead).  Runs once per rank, before the first kernel start event.
+void ensure_epoch(Monitor& mon, State& s) {
+  if (s.epoch != nullptr || !mon.tracing()) return;
+  if (cudasim_real_cudaEventCreate(&s.epoch) != cudaSuccess) return;
+  if (cudasim_real_cudaEventRecord(s.epoch, nullptr) != cudaSuccess ||
+      cudasim_real_cudaEventSynchronize(s.epoch) != cudaSuccess) {
+    cudasim_real_cudaEventDestroy(s.epoch);
+    s.epoch = nullptr;
+    return;
+  }
+  s.epoch_host = ipm::gettime();
+}
+
 /// Record one completed KTT entry and free its slot.
 void ktt_record(Monitor& mon, State& s, KttEntry& e) {
   float ms = 0.0F;
@@ -114,6 +136,16 @@ void ktt_record(Monitor& mon, State& s, KttEntry& e) {
     // region), but the work belongs where the launch happened.
     mon.update_in_region(e.exec_key, duration, e.region, 0,
                          cusim::stream_index(e.stream));
+    if (mon.tracing() && s.epoch != nullptr) {
+      float ms0 = 0.0F;
+      if (cudasim_real_cudaEventElapsedTime(&ms0, s.epoch, e.start) == cudaSuccess) {
+        // Same duration as the table update (conservation); absolute device
+        // start via the epoch.  select carries the stream for lane mapping.
+        const double t0 = s.epoch_host + static_cast<double>(ms0) * 1e-3;
+        mon.trace_span_in_region(e.exec_key.name, t0, duration, e.region, 0,
+                                 cusim::stream_index(e.stream), TraceKind::kKernel);
+      }
+    }
     s.stats.ktt_completed += 1;
   }
   e.armed = false;
@@ -185,9 +217,10 @@ LayerStats layer_stats(Monitor& mon) { return state(mon).stats; }
 
 namespace detail {
 
-void record(Monitor& mon, const PreparedKey& key, double duration, std::uint64_t bytes,
-            std::int32_t select) {
+void record(Monitor& mon, const PreparedKey& key, double begin, double duration,
+            std::uint64_t bytes, std::int32_t select, TraceKind kind) {
   mon.update(key, duration, bytes, select);
+  if (mon.tracing()) mon.trace_span(key.name, begin, duration, bytes, select, kind);
 }
 
 void maybe_poll_on_call(Monitor& mon) {
@@ -207,13 +240,15 @@ void host_idle_probe(Monitor& mon, cudaStream_t stream) {
   cudasim_real_cudaStreamSynchronize(stream);
   const double idle = ipm::gettime() - begin;
   if (idle >= kIdleThreshold) {
-    record(mon, s.idle_name, idle, 0, cusim::stream_index(stream));
+    record(mon, s.idle_name, begin, idle, 0, cusim::stream_index(stream),
+           TraceKind::kIdle);
     s.stats.idle_recorded += 1;
   }
 }
 
 int ktt_begin(Monitor& mon, cudaStream_t stream) {
   State& s = state(mon);
+  ensure_epoch(mon, s);
   for (int probe = 0; probe < kKttSlots; ++probe) {
     const int idx = (s.next_slot_hint + probe) % kKttSlots;
     KttEntry& e = s.ktt[idx];

@@ -6,6 +6,8 @@
 //   ipm_parse --cube out.cube <profile.xml> # CUBE-like export
 //   ipm_parse --advise <profile.xml>        # tuning guidance (paper SVI)
 //   ipm_parse --compare <a.xml> <b.xml>     # side-by-side profile diff
+//   ipm_parse --trace out.json <profile.xml># merge per-rank traces (Chrome)
+//   ipm_parse --timeline <profile.xml>      # ASCII trace timeline
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -14,14 +16,22 @@
 #include "ipm/report.hpp"
 #include "ipm_parse/advisor.hpp"
 #include "ipm_parse/export.hpp"
+#include "ipm_parse/trace.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: ipm_parse [--html FILE | --cube FILE | --advise] <profile.xml>\n"
+               "usage: ipm_parse [--html FILE | --cube FILE | --advise | --trace FILE |"
+               " --timeline] <profile.xml>\n"
                "       ipm_parse --compare <a.xml> <b.xml>\n");
   return 2;
+}
+
+/// Directory part of a path ("" when there is none).
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
 }
 
 }  // namespace
@@ -29,13 +39,17 @@ int usage() {
 int main(int argc, char** argv) {
   std::string html_out;
   std::string cube_out;
+  std::string trace_out;
   bool advise = false;
+  bool timeline = false;
   bool do_compare = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--html" && i + 1 < argc) html_out = argv[++i];
     else if (arg == "--cube" && i + 1 < argc) cube_out = argv[++i];
+    else if (arg == "--trace" && i + 1 < argc) trace_out = argv[++i];
+    else if (arg == "--timeline") timeline = true;
     else if (arg == "--advise") advise = true;
     else if (arg == "--compare") do_compare = true;
     else if (!arg.empty() && arg[0] == '-') return usage();
@@ -59,9 +73,22 @@ int main(int argc, char** argv) {
       ipm_parse::write_cube_file(cube_out, job);
       std::printf("wrote %s\n", cube_out.c_str());
     }
+    if (!trace_out.empty() || timeline) {
+      const auto traces = ipm_parse::load_job_traces(job, dir_of(input));
+      if (traces.empty()) {
+        std::fprintf(stderr, "ipm_parse: %s references no trace files (run with "
+                             "Config::trace / IPM_TRACE=1)\n", input.c_str());
+        return 1;
+      }
+      if (!trace_out.empty()) {
+        ipm_parse::write_chrome_trace_file(trace_out, traces);
+        std::printf("wrote %s\n", trace_out.c_str());
+      }
+      if (timeline) ipm_parse::write_timeline(std::cout, job, traces);
+    }
     if (advise) {
       ipm_parse::write_advice(std::cout, job);
-    } else if (html_out.empty() && cube_out.empty()) {
+    } else if (html_out.empty() && cube_out.empty() && trace_out.empty() && !timeline) {
       ipm::write_banner(std::cout, job, {.max_rows = 0, .full = true});
     }
   } catch (const std::exception& e) {

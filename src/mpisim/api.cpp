@@ -33,7 +33,7 @@ int check_count_type(int count, MPI_Datatype dt) {
 extern "C" {
 
 int mpisim_real_MPI_Init(int*, char***) {
-  world().initialized_flag = true;
+  world().initialized_flag.store(true, std::memory_order_relaxed);
   return MPI_SUCCESS;
 }
 
@@ -41,7 +41,7 @@ int mpisim_real_MPI_Finalize(void) { return MPI_SUCCESS; }
 
 int mpisim_real_MPI_Initialized(int* flag) {
   if (flag == nullptr) return MPI_ERR_ARG;
-  *flag = world().initialized_flag ? 1 : 0;
+  *flag = world().initialized_flag.load(std::memory_order_relaxed) ? 1 : 0;
   return MPI_SUCCESS;
 }
 

@@ -22,6 +22,7 @@
 // sequence numbers and rendezvous slots are per-communicator.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -136,7 +137,9 @@ class World {
   /// Standalone single-rank world for programs run without run_cluster.
   static World& standalone();
 
-  bool initialized_flag = false;  // MPI_Init seen (per world, not per rank)
+  // MPI_Init seen (per world, not per rank).  Atomic: every rank thread
+  // stores it in MPI_Init without taking the world mutex.
+  std::atomic<bool> initialized_flag{false};
 
  private:
   // --- cost model -----------------------------------------------------------

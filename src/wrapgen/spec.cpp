@@ -255,10 +255,12 @@ std::string emit_body(const SpecFile& spec, const CallSpec& c,
     case CallKind::kInit:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  (void)ipm::monitor();  // start monitoring this rank\n";
+      out += "  ipm::trace_lifecycle_marker(kKey);\n";
       out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
       break;
     case CallKind::kFinalize:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
+      out += "  ipm::trace_lifecycle_marker(kKey);\n";
       out += "  auto ret = " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
       out += "  if (ipm::has_monitor()) ipm::rank_finalize();\n";
       out += "  return ret;\n";

@@ -71,7 +71,8 @@ TEST(Advisor, TransferBoundFires) {
   const ipm::JobProfile job = make_job({make_rank(
       0, 10.0, {{"cublasSetMatrix", 3.0}, {"cublasGetMatrix", 2.0},
                 {"@CUDA_EXEC:zgemm_nn_e_kernel", 0.5}})});
-  const Finding* f = find_kind(advise(job), FindingKind::kTransferBound);
+  const auto findings = advise(job);
+  const Finding* f = find_kind(findings, FindingKind::kTransferBound);
   ASSERT_NE(f, nullptr);
   EXPECT_NE(f->message.find("direct interface"), std::string::npos);
 }
@@ -111,7 +112,8 @@ TEST(Advisor, SyncAndCommBoundFire) {
 TEST(Advisor, LowUtilizationFires) {
   const ipm::JobProfile job = make_job({make_rank(
       0, 10.0, {{"@CUDA_EXEC:k", 0.5}, {"cudaLaunch", 0.01}})});
-  const Finding* f = find_kind(advise(job), FindingKind::kLowGpuUtilization);
+  const auto findings = advise(job);
+  const Finding* f = find_kind(findings, FindingKind::kLowGpuUtilization);
   ASSERT_NE(f, nullptr);
   EXPECT_NE(f->message.find("5.0%"), std::string::npos);
 }

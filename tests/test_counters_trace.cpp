@@ -1,14 +1,19 @@
 // Tests of the §VI-extension features: simulated GPU hardware counters
-// (PAPI-style flop/DRAM/busy accounting, exact for the cost model) and the
-// Chrome-tracing export of the ground-truth profiler.
+// (PAPI-style flop/DRAM/busy accounting, exact for the cost model), the
+// Chrome-tracing export of the ground-truth profiler, and the alignment of
+// IPM's event-bracketed kernel spans against that ground truth.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "cudasim/control.hpp"
 #include "cudasim/cuda_runtime.h"
 #include "cudasim/kernel.hpp"
+#include "ipm/monitor.hpp"
+#include "ipm/trace.hpp"
 #include "simcommon/clock.hpp"
 
 namespace {
@@ -20,7 +25,11 @@ class CountersTest : public ::testing::Test {
     topo.timing.init_cost = 0.0;
     cusim::configure(topo);
     simx::reset_default_context();
+    // This binary is monitored (--wrap); restart the job so each test gets
+    // a fresh monitor whose event handles match the engine configured above.
+    ipm::job_begin(ipm::Config{}, "./counters");
   }
+  void TearDown() override { (void)ipm::job_end(); }
 };
 
 TEST_F(CountersTest, FlopAndDramCountsAreExact) {
@@ -48,8 +57,12 @@ TEST_F(CountersTest, CountersResetOnConfigure) {
   def.cost.flops_per_thread = 1.0;
   ASSERT_EQ(cusim::launch_timed(def, dim3(1), dim3(32)), cudaSuccess);
   EXPECT_EQ(cusim::device_counters(0, 0).kernels, 1u);
+  // Finalize the monitor (draining its KTT events) while the engine that
+  // owns those events is still alive, only then reset the simulator.
+  (void)ipm::job_end();
   cusim::reset();
   simx::reset_default_context();
+  ipm::job_begin(ipm::Config{}, "./counters");
   EXPECT_EQ(cusim::device_counters(0, 0).kernels, 0u);
 }
 
@@ -104,6 +117,85 @@ TEST_F(CountersTest, ChromeTraceIsStructurallySound) {
 TEST_F(CountersTest, TraceRequiresWritablePath) {
   EXPECT_THROW(cusim::write_chrome_trace("/nonexistent_dir/trace.json"),
                std::runtime_error);
+}
+
+// IPM measures kernels by event brackets (epoch event + start/stop events);
+// the simulator's profiler records the exact modelled times.  Every IPM
+// kernel span must align with its ground-truth record: duration within the
+// modelled bracket overhead, start within the epoch-sync slack.
+TEST_F(CountersTest, IpmKernelSpansAlignWithGroundTruthProfile) {
+  // The bound the measurement-brackets property test established for the
+  // modelled event overhead of one timed region.
+  constexpr double kBracketBound = 25e-6;
+
+  (void)ipm::job_end();  // close the untraced job from SetUp
+  ipm::Config cfg;
+  cfg.trace = true;
+  cfg.trace_log2_records = 12;
+  cfg.trace_path = ::testing::TempDir() + "/align_trace";
+  ipm::job_begin(cfg, "./align");
+  cusim::set_profiling(true);
+
+  cudaStream_t s1 = nullptr;
+  ASSERT_EQ(cudaStreamCreate(&s1), cudaSuccess);
+  cusim::KernelDef def;
+  def.name = "align_kernel";
+  void* dev = nullptr;
+  ASSERT_EQ(cudaMalloc(&dev, 4096), cudaSuccess);
+  char host[4096];
+  for (int i = 0; i < 6; ++i) {
+    def.cost.fixed_us = 50.0 + 25.0 * i;
+    ASSERT_EQ(cusim::launch_timed(def, dim3(1), dim3(32), i % 2 ? s1 : nullptr),
+              cudaSuccess);
+  }
+  cudaThreadSynchronize();
+  // A wrapped sync call after the barrier lets the KTT poll retire every
+  // kernel into the table and the ring.
+  cudaMemcpy(host, dev, sizeof host, cudaMemcpyDeviceToHost);
+  cudaFree(dev);
+  cudaStreamDestroy(s1);
+  cusim::set_profiling(false);
+
+  std::vector<cusim::ProfileRecord> truth;
+  for (const cusim::ProfileRecord& r : cusim::profile_log()) {
+    if (r.method == "align_kernel") truth.push_back(r);
+  }
+  ASSERT_EQ(truth.size(), 6u);
+
+  const ipm::JobProfile job = ipm::job_end();
+  ASSERT_EQ(job.nranks, 1);
+  ASSERT_FALSE(job.ranks[0].trace_file.empty());
+  const ipm::RankTrace trace = ipm::read_trace_file(job.ranks[0].trace_file);
+  std::vector<const ipm::TraceSpan*> spans;
+  for (const ipm::TraceSpan& s : trace.spans) {
+    if (s.kind == ipm::TraceKind::kKernel && s.name == "@CUDA_EXEC:align_kernel") {
+      spans.push_back(&s);
+    }
+  }
+  ASSERT_EQ(spans.size(), truth.size());
+
+  // Pair spans with records by start time (each stream serializes, and the
+  // fixed_us ramp makes durations distinct as a cross-check).
+  std::sort(truth.begin(), truth.end(),
+            [](const cusim::ProfileRecord& a, const cusim::ProfileRecord& b) {
+              return a.gpu_start < b.gpu_start;
+            });
+  std::sort(spans.begin(), spans.end(),
+            [](const ipm::TraceSpan* a, const ipm::TraceSpan* b) {
+              return a->t0 < b->t0;
+            });
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const cusim::ProfileRecord& g = truth[i];
+    const ipm::TraceSpan& s = *spans[i];
+    EXPECT_EQ(s.select, g.stream_index) << "kernel " << i;
+    // Bracketed duration: never shorter than the exact modelled time, and
+    // longer only by the modelled event overhead.
+    EXPECT_GE(s.dur, g.gpu_time) << "kernel " << i;
+    EXPECT_LT(s.dur - g.gpu_time, kBracketBound) << "kernel " << i;
+    // Absolute start: the epoch-event transform places the span on the host
+    // clock within the epoch-sync + event slack of the true device start.
+    EXPECT_NEAR(s.t0, g.gpu_start, 2.0 * kBracketBound) << "kernel " << i;
+  }
 }
 
 }  // namespace
