@@ -1,0 +1,84 @@
+#include "ipm/errors.hpp"
+
+#include <cstdio>
+
+namespace ipm {
+
+namespace {
+
+struct CodeSlug {
+  std::int64_t code;
+  const char* slug;
+};
+
+constexpr CodeSlug kCudaRt[] = {
+    {1, "missingcfg"}, {2, "oom"},     {3, "init"},    {4, "launch"},
+    {11, "inval"},     {17, "devptr"}, {21, "dir"},    {30, "unknown"},
+    {33, "handle"},    {600, "notready"},
+};
+
+constexpr CodeSlug kCudaDrv[] = {
+    {1, "inval"},    {2, "oom"},      {3, "init"},    {201, "ctx"},
+    {400, "handle"}, {600, "notready"}, {700, "launch"}, {999, "unknown"},
+};
+
+constexpr CodeSlug kMpi[] = {
+    {2, "count"}, {3, "type"}, {4, "tag"}, {5, "comm"},
+    {6, "rank"},  {9, "op"},   {12, "arg"}, {15, "other"},
+};
+
+constexpr CodeSlug kCublas[] = {
+    {1, "notinit"}, {3, "alloc"},    {7, "inval"},
+    {11, "mapping"}, {13, "exec"},   {14, "internal"},
+};
+
+constexpr CodeSlug kCufft[] = {
+    {1, "plan"},     {2, "alloc"}, {3, "type"}, {4, "inval"},
+    {5, "internal"}, {6, "exec"},  {7, "setup"}, {8, "size"},
+};
+
+const char* lookup(const CodeSlug* table, std::size_t n, std::int64_t code) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (table[i].code == code) return table[i].slug;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string error_slug(ErrDomain domain, std::int64_t code) {
+  const char* slug = nullptr;
+  switch (domain) {
+    case ErrDomain::kNone: break;
+    case ErrDomain::kCudaRt: slug = lookup(kCudaRt, std::size(kCudaRt), code); break;
+    case ErrDomain::kCudaDrv: slug = lookup(kCudaDrv, std::size(kCudaDrv), code); break;
+    case ErrDomain::kMpi: slug = lookup(kMpi, std::size(kMpi), code); break;
+    case ErrDomain::kCublas: slug = lookup(kCublas, std::size(kCublas), code); break;
+    case ErrDomain::kCufft: slug = lookup(kCufft, std::size(kCufft), code); break;
+  }
+  if (slug != nullptr) return slug;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "err%lld", static_cast<long long>(code));
+  return buf;
+}
+
+PreparedKey error_key(const char* base, ErrDomain domain, std::int64_t code) {
+  // Error paths are cold: a fresh intern (lock-free once the name exists)
+  // is fine here, unlike the per-call happy path.
+  std::string name(base);
+  name += "[ERR=";
+  name += error_slug(domain, code);
+  name += ']';
+  return prepare_key(name);
+}
+
+bool split_error_name(const std::string& name, std::string* base, std::string* slug) {
+  if (name.empty() || name.back() != ']') return false;
+  const std::size_t tag = name.rfind("[ERR=");
+  if (tag == std::string::npos) return false;
+  if (base != nullptr) *base = name.substr(0, tag);
+  if (slug != nullptr) *slug = name.substr(tag + 5, name.size() - tag - 6);
+  return true;
+}
+
+}  // namespace ipm

@@ -1,0 +1,59 @@
+// Error-code classification for the monitoring wrappers.
+//
+// Every wrapped API returns its status in one of a handful of domains
+// (cudaError_t, CUresult, MPI error classes, cublasStatus, cufftResult).
+// The wrapper layers cannot rely on the C++ type alone — cublasStatus is
+// a typedef for unsigned int, MPI returns plain int, and some calls
+// (cudaGetLastError, cublasIsamax) return values that are not statuses at
+// all — so wrapgen emits an explicit ErrDomain per call and the helpers
+// here decide whether a given return value is a failure and mint the
+// per-error-code event key (`name[ERR=slug]`) a failed call is recorded
+// under.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ipm/key.hpp"
+
+namespace ipm {
+
+/// Which error vocabulary a wrapped call's return value lives in.
+/// kNone: the return value is not a status (void, value returns, and
+/// state-query calls like cudaGetLastError whose "error" return is the
+/// queried state, not a failure of the query itself).
+enum class ErrDomain : std::uint8_t {
+  kNone = 0,
+  kCudaRt,   ///< cudaError_t
+  kCudaDrv,  ///< CUresult
+  kMpi,      ///< MPI error classes (int)
+  kCublas,   ///< cublasStatus
+  kCufft,    ///< cufftResult
+};
+
+/// True when `code` denotes a failed call in `domain`.  cudaErrorNotReady
+/// / CUDA_ERROR_NOT_READY (600) are exempt: stream/event queries return
+/// them for in-flight work on the happy path.
+[[nodiscard]] inline bool is_error(ErrDomain domain, std::int64_t code) noexcept {
+  if (domain == ErrDomain::kNone || code == 0) return false;
+  if ((domain == ErrDomain::kCudaRt || domain == ErrDomain::kCudaDrv) && code == 600) {
+    return false;
+  }
+  return true;
+}
+
+/// Short human-readable slug for an error code ("oom", "launch", ...);
+/// falls back to "err<code>" for codes outside the known vocabulary.
+[[nodiscard]] std::string error_slug(ErrDomain domain, std::int64_t code);
+
+/// Interned key `<base>[ERR=<slug>]` under which a failed call is
+/// accumulated, keeping error-path counts distinct from happy-path ones.
+[[nodiscard]] PreparedKey error_key(const char* base, ErrDomain domain,
+                                    std::int64_t code);
+
+/// Parse a `name[ERR=slug]` event name.  Returns true and fills
+/// `base`/`slug` when the name carries an error tag.
+[[nodiscard]] bool split_error_name(const std::string& name, std::string* base,
+                                    std::string* slug);
+
+}  // namespace ipm

@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "ipm/errors.hpp"
 #include "ipm/hashtable.hpp"
 #include "ipm/trace.hpp"
 
@@ -56,11 +57,17 @@ struct Config {
   /// Trace file prefix ("" derives from log_path, or "ipm_trace"); rank N
   /// flushes to "<prefix>.rank<N>.jsonl".
   std::string trace_path;
+  /// Fault-injection spec installed into faultsim at job_begin (see
+  /// faultsim/fault.hpp for the grammar), e.g.
+  /// "cudaMalloc:oom@3,cudaMemcpy:err@p=0.01:seed=42".  Empty: leave the
+  /// injector alone (IPM_FAULT in the environment still self-configures).
+  std::string fault;
 };
 
 /// Populate a Config from IPM_* environment variables
 /// (IPM_REPORT=none|terse|full, IPM_LOG=<path>, IPM_KERNEL_TIMING=0|1,
-///  IPM_HOST_IDLE=0|1, IPM_KTT_POLICY=d2h|every|never, IPM_HASH_BITS=<n>).
+///  IPM_HOST_IDLE=0|1, IPM_KTT_POLICY=d2h|every|never, IPM_HASH_BITS=<n>,
+///  IPM_FAULT=<fault spec>).
 [[nodiscard]] Config config_from_env(Config base = {});
 
 /// Flattened profile entry (merged over hash-table slots with equal name/
@@ -139,19 +146,20 @@ class Monitor {
   /// be the exact duration folded into the hash table so trace sums
   /// conserve EventStats totals.  Never blocks, never allocates.
   void trace_span(NameId name, double t0, double dur, std::uint64_t bytes = 0,
-                  std::int32_t select = 0,
-                  TraceKind kind = TraceKind::kHost) noexcept {
+                  std::int32_t select = 0, TraceKind kind = TraceKind::kHost,
+                  std::int32_t err = 0) noexcept {
     if (trace_ring_ == nullptr) return;
-    trace_span_in_region(name, t0, dur, region_stack_.back(), bytes, select, kind);
+    trace_span_in_region(name, t0, dur, region_stack_.back(), bytes, select, kind, err);
   }
 
   /// Explicit-region variant (deferred kernel-timing completions carry the
   /// region captured at launch time, like update_in_region).
   void trace_span_in_region(NameId name, double t0, double dur, std::uint32_t region,
                             std::uint64_t bytes = 0, std::int32_t select = 0,
-                            TraceKind kind = TraceKind::kHost) noexcept {
+                            TraceKind kind = TraceKind::kHost,
+                            std::int32_t err = 0) noexcept {
     if (trace_ring_ == nullptr) return;
-    trace_ring_->push(TraceRecord{t0, dur, name, region, bytes, select, kind});
+    trace_ring_->push(TraceRecord{t0, dur, name, region, bytes, select, err, kind});
   }
 
   [[nodiscard]] TraceRing* trace_ring() noexcept { return trace_ring_.get(); }
@@ -268,6 +276,39 @@ auto timed_event(const PreparedKey& key, std::uint64_t bytes, std::int32_t selec
     if (mon->tracing()) mon->trace_span(key.name, begin, dur, bytes, select);
     return ret;
   }
+}
+
+/// Status-checked variant: `fn`'s return value is a status in `domain`.
+/// A failing call is recorded under the per-error-code key
+/// (`name[ERR=slug]`, see errors.hpp) with ZERO bytes credited — the work
+/// did not happen — while its wall duration is still accounted so time
+/// spent in failing calls remains visible.  The error is never swallowed:
+/// the return value reaches the application unchanged.
+template <typename Fn>
+auto timed_event(const PreparedKey& key, std::uint64_t bytes, std::int32_t select,
+                 ErrDomain domain, Fn&& fn) {
+  static_assert(!std::is_void_v<decltype(fn())>,
+                "status-checked timed_event requires a status return");
+  Monitor* mon = monitor();
+  if (mon == nullptr) return fn();
+  const double begin = gettime();
+  auto ret = fn();
+  const double dur = gettime() - begin;
+  const auto code = static_cast<std::int64_t>(ret);
+  if (is_error(domain, code)) {
+    // Cold path: mint (or re-intern) the error key outside any lock the
+    // fast path takes; bytes are dropped, duration kept.
+    const PreparedKey ekey = error_key(name_of(key.name).c_str(), domain, code);
+    mon->update(ekey, dur, 0, select);
+    if (mon->tracing()) {
+      mon->trace_span(ekey.name, begin, dur, 0, select, TraceKind::kHost,
+                      static_cast<std::int32_t>(code));
+    }
+  } else {
+    mon->update(key, dur, bytes, select);
+    if (mon->tracing()) mon->trace_span(key.name, begin, dur, bytes, select);
+  }
+  return ret;
 }
 
 }  // namespace ipm

@@ -33,6 +33,20 @@ void write_xml_file(const std::string& path, const JobProfile& job);
 [[nodiscard]] JobProfile parse_xml_file(const std::string& path);
 [[nodiscard]] JobProfile parse_xml(const std::string& doc);
 
+/// One row of the error summary: a failed call (base API name + error
+/// slug, derived from the `name[ERR=slug]` hash-table keys) with its
+/// job-wide count and accumulated wall time.
+struct ErrorRow {
+  std::string name;  ///< base API display name, e.g. "cudaMemcpy(H2D)"
+  std::string err;   ///< error slug, e.g. "oom"
+  std::uint64_t count = 0;
+  double tsum = 0.0;
+};
+
+/// Job-wide error summary (count per call per error code), sorted by
+/// descending count then name.  Empty when no call failed.
+[[nodiscard]] std::vector<ErrorRow> error_summary(const JobProfile& job);
+
 /// Aggregated per-function row used by the banner and by ipm_parse.
 struct FuncRow {
   std::string name;   ///< display name (@CUDA_EXEC entries grouped per stream)

@@ -48,6 +48,7 @@ struct TraceRecord {
   std::uint32_t region = 0;
   std::uint64_t bytes = 0;
   std::int32_t select = 0;  ///< direction / stream index / peer rank
+  std::int32_t err = 0;     ///< nonzero: the call failed with this code
   TraceKind kind = TraceKind::kHost;
 };
 
@@ -109,6 +110,7 @@ struct TraceSpan {
   double dur = 0.0;
   std::uint64_t bytes = 0;
   std::int32_t select = 0;
+  std::int32_t err = 0;  ///< nonzero: the call failed with this code
   TraceKind kind = TraceKind::kHost;
 
   [[nodiscard]] double t1() const noexcept { return t0 + dur; }

@@ -10,6 +10,7 @@
 
 #include "ipm/report.hpp"
 
+#include "faultsim/fault.hpp"
 #include "simcommon/clock.hpp"
 #include "simcommon/str.hpp"
 
@@ -108,6 +109,7 @@ Config config_from_env(Config base) {
     base.trace_log2_records = static_cast<unsigned>(simx::parse_i64(v));
   }
   if (const char* v = getenv_str("IPM_TRACE_PATH")) base.trace_path = v;
+  if (const char* v = getenv_str("IPM_FAULT")) base.fault = v;
   return base;
 }
 
@@ -225,6 +227,10 @@ void job_begin(const Config& cfg, const std::string& command) {
   // harness is about to tear down (cusim::configure invalidates streams and
   // events), so running finalize hooks here would be unsafe.
   t_owner.monitor.reset();
+  // Install the job's fault spec (throws on a malformed programmatic spec;
+  // IPM_FAULT from the environment is validated in configure_from_env).
+  // An empty spec leaves the injector's current state alone.
+  if (!cfg.fault.empty()) faultsim::configure(cfg.fault);
   JobState& s = job();
   std::scoped_lock lk(s.mu);
   s.cfg = cfg;

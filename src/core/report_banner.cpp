@@ -78,6 +78,31 @@ std::vector<FuncRow> function_table(const JobProfile& job) {
   return out;
 }
 
+std::vector<ErrorRow> error_summary(const JobProfile& job) {
+  std::map<std::pair<std::string, std::string>, ErrorRow> rows;
+  for (const RankProfile& r : job.ranks) {
+    for (const EventRecord& e : r.events) {
+      std::string base;
+      std::string slug;
+      if (!split_error_name(e.name, &base, &slug)) continue;
+      ErrorRow& row = rows[{base, slug}];
+      row.name = base;
+      row.err = slug;
+      row.count += e.count;
+      row.tsum += e.tsum;
+    }
+  }
+  std::vector<ErrorRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(), [](const ErrorRow& a, const ErrorRow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.name != b.name) return a.name < b.name;
+    return a.err < b.err;
+  });
+  return out;
+}
+
 std::vector<std::vector<double>> per_rank_times(const JobProfile& job,
                                                 const std::vector<std::string>& names) {
   std::vector<std::vector<double>> out(names.size(),
@@ -197,6 +222,19 @@ void write_banner(std::ostream& os, const JobProfile& job, const BannerOptions& 
                     static_cast<unsigned long long>(row.count), row.pct_wall);
   }
   os << "#\n";
+  const std::vector<ErrorRow> errs = error_summary(job);
+  if (!errs.empty()) {
+    std::uint64_t err_calls = 0;
+    for (const ErrorRow& e : errs) err_calls += e.count;
+    os << strprintf("# errors     : %llu failed calls\n",
+                    static_cast<unsigned long long>(err_calls));
+    for (const ErrorRow& e : errs) {
+      os << strprintf("#   %-30s %10llu   %8.2f\n",
+                      (e.name + "[ERR=" + e.err + "]").c_str(),
+                      static_cast<unsigned long long>(e.count), e.tsum);
+    }
+    os << "#\n";
+  }
   std::uint64_t trace_spans = 0;
   std::uint64_t trace_drops = 0;
   bool traced = false;

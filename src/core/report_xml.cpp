@@ -55,6 +55,22 @@ void write_xml(std::ostream& os, const JobProfile& job) {
     }
     w.close();
   }
+  // Informational job-wide error summary (count per call per error code).
+  // The parser derives the same summary from the `name[ERR=slug]` func
+  // entries, so this section round-trips without being parsed itself.
+  const std::vector<ErrorRow> errs = error_summary(job);
+  if (!errs.empty()) {
+    std::uint64_t failed = 0;
+    for (const ErrorRow& e : errs) failed += e.count;
+    w.open("errors", {{"failed", std::to_string(failed)}});
+    for (const ErrorRow& e : errs) {
+      w.leaf("error", {{"call", e.name},
+                       {"code", e.err},
+                       {"count", std::to_string(e.count)},
+                       {"tsum", simx::strprintf("%.9f", e.tsum)}});
+    }
+    w.close();
+  }
   w.finish();
 }
 

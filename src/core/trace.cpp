@@ -107,6 +107,7 @@ RankTrace resolve_trace(const TraceRing& ring, const std::vector<std::string>& r
     s.dur = r.dur;
     s.bytes = r.bytes;
     s.select = r.select;
+    s.err = r.err;
     s.kind = r.kind;
     t.spans.push_back(std::move(s));
   }
@@ -128,11 +129,21 @@ void write_trace_file(const std::string& path, const RankTrace& trace) {
       trace.rank, json_escape(trace.hostname).c_str(), trace.start, trace.stop,
       static_cast<unsigned long long>(trace.drops), trace.spans.size());
   for (const TraceSpan& s : trace.spans) {
-    out << simx::strprintf(
-        "{\"t0\":%.17g,\"dur\":%.17g,\"name\":\"%s\",\"region\":\"%s\",\"bytes\":%llu,"
-        "\"select\":%d,\"kind\":\"%s\"}\n",
-        s.t0, s.dur, json_escape(s.name).c_str(), json_escape(s.region).c_str(),
-        static_cast<unsigned long long>(s.bytes), s.select, kind_str(s.kind));
+    // The err field is written only for failed calls, keeping the common
+    // (successful) line format byte-identical to pre-error-tagging traces.
+    if (s.err != 0) {
+      out << simx::strprintf(
+          "{\"t0\":%.17g,\"dur\":%.17g,\"name\":\"%s\",\"region\":\"%s\",\"bytes\":%llu,"
+          "\"select\":%d,\"err\":%d,\"kind\":\"%s\"}\n",
+          s.t0, s.dur, json_escape(s.name).c_str(), json_escape(s.region).c_str(),
+          static_cast<unsigned long long>(s.bytes), s.select, s.err, kind_str(s.kind));
+    } else {
+      out << simx::strprintf(
+          "{\"t0\":%.17g,\"dur\":%.17g,\"name\":\"%s\",\"region\":\"%s\",\"bytes\":%llu,"
+          "\"select\":%d,\"kind\":\"%s\"}\n",
+          s.t0, s.dur, json_escape(s.name).c_str(), json_escape(s.region).c_str(),
+          static_cast<unsigned long long>(s.bytes), s.select, kind_str(s.kind));
+    }
   }
   if (!out) throw std::runtime_error("ipm: write failed for trace file '" + path + "'");
 }
@@ -161,6 +172,7 @@ RankTrace read_trace_file(const std::string& path) {
     s.dur = num_field(line, "dur", 0.0);
     s.bytes = static_cast<std::uint64_t>(int_field(line, "bytes", 0));
     s.select = static_cast<std::int32_t>(int_field(line, "select", 0));
+    s.err = static_cast<std::int32_t>(int_field(line, "err", 0));
     std::string kind;
     find_field(line, "kind", kind);
     s.kind = kind_from(kind);

@@ -4,6 +4,7 @@
 // API while application code uses the runtime API (§III-A).
 #include "cudasim/real.h"
 #include "engine.hpp"
+#include "faultsim/fault.hpp"
 
 using cusim::detail::Engine;
 
@@ -25,7 +26,28 @@ CUresult to_cu(cudaError_t e) {
 
 void* dp(CUdeviceptr p) { return reinterpret_cast<void*>(static_cast<std::uintptr_t>(p)); }
 
+/// Driver-side fault gate.  Rules naming cu* APIs inject CUresult codes
+/// directly; a sticky runtime-domain error poisons the driver path too
+/// (both APIs share the per-rank context).  Entry points that delegate to
+/// a gated cudasim_real_cuda* call additionally pass that gate, so rules
+/// naming the runtime API fire for driver-path traffic as well.
+CUresult cu_gate(const char* api) {
+  Engine& e = Engine::instance();
+  if (const cudaError_t s = e.sticky_pending(); s != cudaSuccess) {
+    return to_cu(e.set_error(s));
+  }
+  if (faultsim::active()) {
+    if (const faultsim::Hit hit = faultsim::check(api, -1)) {
+      return static_cast<CUresult>(hit.code);
+    }
+  }
+  return CUDA_SUCCESS;
+}
+
 }  // namespace
+
+#define CUSIM_CU_FAULT_GATE(api) \
+  if (const CUresult fault_ = cu_gate(api); fault_ != CUDA_SUCCESS) return fault_
 
 extern "C" {
 
@@ -96,10 +118,12 @@ CUresult cudasim_real_cuCtxDestroy(CUcontext ctx) {
 }
 
 CUresult cudasim_real_cuCtxSynchronize(void) {
+  CUSIM_CU_FAULT_GATE("cuCtxSynchronize");
   return to_cu(cudasim_real_cudaDeviceSynchronize());
 }
 
 CUresult cudasim_real_cuMemAlloc(CUdeviceptr* dptr, std::size_t bytesize) {
+  CUSIM_CU_FAULT_GATE("cuMemAlloc");
   if (dptr == nullptr) return CUDA_ERROR_INVALID_VALUE;
   void* p = nullptr;
   const CUresult r = to_cu(cudasim_real_cudaMalloc(&p, bytesize));
@@ -108,6 +132,7 @@ CUresult cudasim_real_cuMemAlloc(CUdeviceptr* dptr, std::size_t bytesize) {
 }
 
 CUresult cudasim_real_cuMemFree(CUdeviceptr dptr) {
+  CUSIM_CU_FAULT_GATE("cuMemFree");
   return to_cu(cudasim_real_cudaFree(dp(dptr)));
 }
 
@@ -116,34 +141,41 @@ CUresult cudasim_real_cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_b
 }
 
 CUresult cudasim_real_cuMemcpyHtoD(CUdeviceptr dst, const void* src, std::size_t count) {
+  CUSIM_CU_FAULT_GATE("cuMemcpyHtoD");
   return to_cu(cudasim_real_cudaMemcpy(dp(dst), src, count, cudaMemcpyHostToDevice));
 }
 
 CUresult cudasim_real_cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t count) {
+  CUSIM_CU_FAULT_GATE("cuMemcpyDtoH");
   return to_cu(cudasim_real_cudaMemcpy(dst, dp(src), count, cudaMemcpyDeviceToHost));
 }
 
 CUresult cudasim_real_cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, std::size_t count) {
+  CUSIM_CU_FAULT_GATE("cuMemcpyDtoD");
   return to_cu(cudasim_real_cudaMemcpy(dp(dst), dp(src), count, cudaMemcpyDeviceToDevice));
 }
 
 CUresult cudasim_real_cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
                                         std::size_t count, CUstream stream) {
+  CUSIM_CU_FAULT_GATE("cuMemcpyHtoDAsync");
   return to_cu(cudasim_real_cudaMemcpyAsync(dp(dst), src, count, cudaMemcpyHostToDevice,
                                             stream));
 }
 
 CUresult cudasim_real_cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t count,
                                         CUstream stream) {
+  CUSIM_CU_FAULT_GATE("cuMemcpyDtoHAsync");
   return to_cu(cudasim_real_cudaMemcpyAsync(dst, dp(src), count, cudaMemcpyDeviceToHost,
                                             stream));
 }
 
 CUresult cudasim_real_cuMemsetD8(CUdeviceptr dst, unsigned char value, std::size_t count) {
+  CUSIM_CU_FAULT_GATE("cuMemsetD8");
   return to_cu(cudasim_real_cudaMemset(dp(dst), value, count));
 }
 
 CUresult cudasim_real_cuStreamCreate(CUstream* stream, unsigned int) {
+  CUSIM_CU_FAULT_GATE("cuStreamCreate");
   return to_cu(cudasim_real_cudaStreamCreate(stream));
 }
 
@@ -152,6 +184,7 @@ CUresult cudasim_real_cuStreamDestroy(CUstream stream) {
 }
 
 CUresult cudasim_real_cuStreamSynchronize(CUstream stream) {
+  CUSIM_CU_FAULT_GATE("cuStreamSynchronize");
   return to_cu(cudasim_real_cudaStreamSynchronize(stream));
 }
 
@@ -187,6 +220,7 @@ CUresult cudasim_real_cuLaunchKernel(CUfunction f, unsigned int gx, unsigned int
                                      unsigned int gz, unsigned int bx, unsigned int by,
                                      unsigned int bz, unsigned int sharedMemBytes,
                                      CUstream stream, void**, void**) {
+  CUSIM_CU_FAULT_GATE("cuLaunchKernel");
   cusim::LaunchGeom geom;
   geom.grid = dim3(gx, gy, gz);
   geom.block = dim3(bx, by, bz);

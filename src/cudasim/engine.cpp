@@ -123,14 +123,38 @@ cudaError_t Engine::set_error(cudaError_t e) {
   return e;
 }
 
+cudaError_t Engine::set_error(cudaError_t e, bool sticky) {
+  if (e != cudaSuccess) {
+    CudaContext& c = ctx_no_init();
+    c.last_error = e;
+    if (sticky) c.sticky_error = e;
+  }
+  return e;
+}
+
+cudaError_t Engine::sticky_pending() { return ctx_no_init().sticky_error; }
+
+void Engine::reset_errors() {
+  CudaContext& c = ctx_no_init();
+  c.last_error = cudaSuccess;
+  c.sticky_error = cudaSuccess;
+}
+
 cudaError_t Engine::last_error_clear() {
   CudaContext& c = ctx_no_init();
+  // A sticky error is reported but not cleared (real CUDA: the context
+  // stays poisoned until cudaDeviceReset).
+  if (c.sticky_error != cudaSuccess) return c.sticky_error;
   const cudaError_t e = c.last_error;
   c.last_error = cudaSuccess;
   return e;
 }
 
-cudaError_t Engine::last_error_peek() { return ctx_no_init().last_error; }
+cudaError_t Engine::last_error_peek() {
+  CudaContext& c = ctx_no_init();
+  if (c.sticky_error != cudaSuccess) return c.sticky_error;
+  return c.last_error;
+}
 
 void Engine::record_profile(ProfileRecord rec) {
   std::scoped_lock lk(mu_);

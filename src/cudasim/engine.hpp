@@ -91,6 +91,10 @@ struct CudaContext {
   int device_index = 0;        // cudaSetDevice selection within the node
   bool initialized = false;    // first-call init cost charged?
   cudaError_t last_error = cudaSuccess;
+  /// Sticky error (real-CUDA semantics for context-corrupting failures):
+  /// survives cudaGetLastError and poisons subsequent data-path calls
+  /// until cudaDeviceReset.  Only fault injection sets this today.
+  cudaError_t sticky_error = cudaSuccess;
   std::vector<std::unique_ptr<CUstream_st>> streams;  // [0] = default stream
   std::deque<std::unique_ptr<CUevent_st>> events;
   double legacy_fence = 0.0;   // NULL-stream serialization point
@@ -173,6 +177,9 @@ class Engine {
   DeviceCounters counters_snapshot(int node, int gpu);
 
   cudaError_t set_error(cudaError_t e);  // records in ctx, returns e
+  cudaError_t set_error(cudaError_t e, bool sticky);
+  cudaError_t sticky_pending();  // sticky error of the calling context, if any
+  void reset_errors();           // cudaDeviceReset: clears sticky + last error
   cudaError_t last_error_clear();
   cudaError_t last_error_peek();
 

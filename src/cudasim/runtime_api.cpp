@@ -11,6 +11,7 @@
 #include "cudasim/control.hpp"
 #include "cudasim/real.h"
 #include "engine.hpp"
+#include "faultsim/fault.hpp"
 
 using cusim::detail::Engine;
 
@@ -28,7 +29,29 @@ cusim::LaunchGeom make_geom(dim3 grid, dim3 block, std::size_t shared) {
   return g;
 }
 
+/// Fault-injection / sticky-error gate for the data-path entry points.
+/// Returns cudaSuccess to proceed; anything else must be returned to the
+/// caller verbatim — the call then has no side effects and charges no
+/// time.  Event and query entry points are deliberately not gated: the
+/// monitoring layer's internal probes use them via cudasim_real_*, and
+/// the monitor must keep functioning while the application sees faults.
+cudaError_t gate(const char* api) {
+  Engine& e = Engine::instance();
+  if (const cudaError_t s = e.sticky_pending(); s != cudaSuccess) {
+    return e.set_error(s);
+  }
+  if (faultsim::active()) {
+    if (const faultsim::Hit hit = faultsim::check(api, -1)) {
+      return e.set_error(static_cast<cudaError_t>(hit.code), hit.sticky);
+    }
+  }
+  return cudaSuccess;
+}
+
 }  // namespace
+
+#define CUSIM_FAULT_GATE(api) \
+  if (const cudaError_t fault_ = gate(api); fault_ != cudaSuccess) return fault_
 
 extern "C" {
 
@@ -85,16 +108,24 @@ cudaError_t cudasim_real_cudaSetDeviceFlags(unsigned int) {
 }
 
 cudaError_t cudasim_real_cudaDeviceSynchronize(void) {
+  CUSIM_FAULT_GATE("cudaDeviceSynchronize");
   return Engine::instance().device_sync();
 }
 
 cudaError_t cudasim_real_cudaThreadSynchronize(void) {
+  CUSIM_FAULT_GATE("cudaThreadSynchronize");
   return Engine::instance().device_sync();
 }
 
 cudaError_t cudasim_real_cudaThreadExit(void) { return cudaSuccess; }
 
-cudaError_t cudasim_real_cudaDeviceReset(void) { return cudaSuccess; }
+cudaError_t cudasim_real_cudaDeviceReset(void) {
+  // The recovery path: never gated, clears sticky and last errors (the
+  // real call tears the context down; our contexts are per-rank state we
+  // keep, so only the error latches reset).
+  Engine::instance().reset_errors();
+  return cudaSuccess;
+}
 
 cudaError_t cudasim_real_cudaMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
   Engine& e = Engine::instance();
@@ -145,7 +176,9 @@ const char* cudasim_real_cudaGetErrorString(cudaError_t error) {
     case cudaErrorInvalidMemcpyDirection: return "invalid copy direction";
     case cudaErrorInvalidResourceHandle: return "invalid resource handle";
     case cudaErrorNotReady: return "device not ready";
-    default: return "unknown error";
+    case cudaErrorUnknown: return "unknown error";
+    // Real CUDA returns this sentinel for values outside the enum.
+    default: return "unrecognized error code";
   }
 }
 
@@ -154,14 +187,17 @@ const char* cudasim_real_cudaGetErrorString(cudaError_t error) {
 // ---------------------------------------------------------------------------
 
 cudaError_t cudasim_real_cudaMalloc(void** devPtr, std::size_t size) {
+  CUSIM_FAULT_GATE("cudaMalloc");
   return Engine::instance().malloc_dev(devPtr, size);
 }
 
 cudaError_t cudasim_real_cudaFree(void* devPtr) {
+  CUSIM_FAULT_GATE("cudaFree");
   return Engine::instance().free_dev(devPtr);
 }
 
 cudaError_t cudasim_real_cudaMallocHost(void** ptr, std::size_t size) {
+  CUSIM_FAULT_GATE("cudaMallocHost");
   if (ptr == nullptr) return Engine::instance().set_error(cudaErrorInvalidValue);
   Engine::instance().ctx();
   void* mem = std::malloc(size > 0 ? size : 1);
@@ -192,6 +228,7 @@ cudaError_t cudasim_real_cudaHostAlloc(void** ptr, std::size_t size, unsigned in
 
 cudaError_t cudasim_real_cudaMallocPitch(void** devPtr, std::size_t* pitch,
                                          std::size_t width, std::size_t height) {
+  CUSIM_FAULT_GATE("cudaMallocPitch");
   if (pitch == nullptr) return Engine::instance().set_error(cudaErrorInvalidValue);
   const std::size_t aligned = (width + 255) & ~static_cast<std::size_t>(255);
   *pitch = aligned;
@@ -200,17 +237,20 @@ cudaError_t cudasim_real_cudaMallocPitch(void** devPtr, std::size_t* pitch,
 
 cudaError_t cudasim_real_cudaMemcpy(void* dst, const void* src, std::size_t count,
                                     enum cudaMemcpyKind kind) {
+  CUSIM_FAULT_GATE("cudaMemcpy");
   return Engine::instance().memcpy_op(dst, src, count, kind, nullptr, /*sync=*/true);
 }
 
 cudaError_t cudasim_real_cudaMemcpyAsync(void* dst, const void* src, std::size_t count,
                                          enum cudaMemcpyKind kind, cudaStream_t stream) {
+  CUSIM_FAULT_GATE("cudaMemcpyAsync");
   return Engine::instance().memcpy_op(dst, src, count, kind, stream, /*sync=*/false);
 }
 
 cudaError_t cudasim_real_cudaMemcpy2D(void* dst, std::size_t dpitch, const void* src,
                                       std::size_t spitch, std::size_t width,
                                       std::size_t height, enum cudaMemcpyKind kind) {
+  CUSIM_FAULT_GATE("cudaMemcpy2D");
   Engine& e = Engine::instance();
   if (width > dpitch || width > spitch) return e.set_error(cudaErrorInvalidValue);
   if (height == 0 || width == 0) return cudaSuccess;
@@ -231,6 +271,7 @@ cudaError_t cudasim_real_cudaMemcpy2D(void* dst, std::size_t dpitch, const void*
 cudaError_t cudasim_real_cudaMemcpyToSymbol(const void* symbol, const void* src,
                                             std::size_t count, std::size_t offset,
                                             enum cudaMemcpyKind kind) {
+  CUSIM_FAULT_GATE("cudaMemcpyToSymbol");
   if (kind != cudaMemcpyHostToDevice && kind != cudaMemcpyDeviceToDevice) {
     return Engine::instance().set_error(cudaErrorInvalidMemcpyDirection);
   }
@@ -241,6 +282,7 @@ cudaError_t cudasim_real_cudaMemcpyToSymbol(const void* symbol, const void* src,
 cudaError_t cudasim_real_cudaMemcpyFromSymbol(void* dst, const void* symbol,
                                               std::size_t count, std::size_t offset,
                                               enum cudaMemcpyKind kind) {
+  CUSIM_FAULT_GATE("cudaMemcpyFromSymbol");
   if (kind != cudaMemcpyDeviceToHost && kind != cudaMemcpyDeviceToDevice) {
     return Engine::instance().set_error(cudaErrorInvalidMemcpyDirection);
   }
@@ -249,6 +291,7 @@ cudaError_t cudasim_real_cudaMemcpyFromSymbol(void* dst, const void* symbol,
 }
 
 cudaError_t cudasim_real_cudaMemset(void* devPtr, int value, std::size_t count) {
+  CUSIM_FAULT_GATE("cudaMemset");
   return Engine::instance().memset_op(devPtr, value, count);
 }
 
@@ -257,6 +300,7 @@ cudaError_t cudasim_real_cudaMemset(void* devPtr, int value, std::size_t count) 
 // ---------------------------------------------------------------------------
 
 cudaError_t cudasim_real_cudaStreamCreate(cudaStream_t* stream) {
+  CUSIM_FAULT_GATE("cudaStreamCreate");
   return Engine::instance().stream_create(stream);
 }
 
@@ -265,6 +309,7 @@ cudaError_t cudasim_real_cudaStreamDestroy(cudaStream_t stream) {
 }
 
 cudaError_t cudasim_real_cudaStreamSynchronize(cudaStream_t stream) {
+  CUSIM_FAULT_GATE("cudaStreamSynchronize");
   return Engine::instance().stream_sync(stream);
 }
 
@@ -312,6 +357,7 @@ cudaError_t cudasim_real_cudaEventDestroy(cudaEvent_t event) {
 
 cudaError_t cudasim_real_cudaConfigureCall(struct dim3 gridDim, struct dim3 blockDim,
                                            std::size_t sharedMem, cudaStream_t stream) {
+  CUSIM_FAULT_GATE("cudaConfigureCall");
   return Engine::instance().configure_call(make_geom(gridDim, blockDim, sharedMem), stream);
 }
 
@@ -324,6 +370,12 @@ cudaError_t cudasim_real_cudaLaunch(const void* func) {
   auto& c = e.ctx();
   if (!c.pending.configured) return e.set_error(cudaErrorMissingConfiguration);
   c.pending.configured = false;
+  // Consume the staged body even when the launch is rejected, so the next
+  // configure/launch pair starts from a clean slate.
+  if (const cudaError_t fault = gate("cudaLaunch"); fault != cudaSuccess) {
+    (void)cusim::detail_take_pending_body();
+    return fault;
+  }
   const auto* def = static_cast<const cusim::KernelDef*>(func);
   return e.launch(def, c.pending.geom, c.pending.stream,
                   cusim::detail_take_pending_body());

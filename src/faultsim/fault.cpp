@@ -1,0 +1,342 @@
+#include "faultsim/fault.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "simcommon/rng.hpp"
+
+namespace faultsim {
+
+namespace {
+
+/// Error-name vocabulary per API family.  Codes are the simulators' own
+/// enumerator values (cudasim/runtime_api.h, cudasim/cuda.h,
+/// cublassim/cublas.h, cufftsim/cufft.h, mpisim/mpi.h).
+enum class Domain { kCudaRt, kCudaDrv, kMpi, kCublas, kCufft };
+
+struct NameCode {
+  const char* name;
+  int code;
+};
+
+constexpr NameCode kCudaRtNames[] = {
+    {"oom", 2},        // cudaErrorMemoryAllocation
+    {"launch", 4},     // cudaErrorLaunchFailure
+    {"inval", 11},     // cudaErrorInvalidValue
+    {"init", 3},       // cudaErrorInitializationError
+    {"missingcfg", 1}, // cudaErrorMissingConfiguration
+    {"devptr", 17},    // cudaErrorInvalidDevicePointer
+    {"dir", 21},       // cudaErrorInvalidMemcpyDirection
+    {"handle", 33},    // cudaErrorInvalidResourceHandle
+    {"notready", 600}, // cudaErrorNotReady
+    {"unknown", 30},   // cudaErrorUnknown
+    {"err", 30},
+};
+
+constexpr NameCode kCudaDrvNames[] = {
+    {"oom", 2},        // CUDA_ERROR_OUT_OF_MEMORY
+    {"inval", 1},      // CUDA_ERROR_INVALID_VALUE
+    {"init", 3},       // CUDA_ERROR_NOT_INITIALIZED
+    {"ctx", 201},      // CUDA_ERROR_INVALID_CONTEXT
+    {"handle", 400},   // CUDA_ERROR_INVALID_HANDLE
+    {"notready", 600}, // CUDA_ERROR_NOT_READY
+    {"launch", 700},   // CUDA_ERROR_LAUNCH_FAILED
+    {"unknown", 999},  // CUDA_ERROR_UNKNOWN
+    {"err", 999},
+};
+
+constexpr NameCode kMpiNames[] = {
+    {"fail", 15},  // MPI_ERR_OTHER
+    {"other", 15}, {"err", 15},
+    {"comm", 5},   // MPI_ERR_COMM
+    {"count", 2},  // MPI_ERR_COUNT
+    {"type", 3},   // MPI_ERR_TYPE
+    {"tag", 4},    // MPI_ERR_TAG
+    {"rank", 6},   // MPI_ERR_RANK
+    {"op", 9},     // MPI_ERR_OP
+    {"arg", 12},   // MPI_ERR_ARG
+};
+
+constexpr NameCode kCublasNames[] = {
+    {"notinit", 1},  // CUBLAS_STATUS_NOT_INITIALIZED
+    {"alloc", 3},    // CUBLAS_STATUS_ALLOC_FAILED
+    {"oom", 3},
+    {"inval", 7},    // CUBLAS_STATUS_INVALID_VALUE
+    {"mapping", 11}, // CUBLAS_STATUS_MAPPING_ERROR
+    {"exec", 13},    // CUBLAS_STATUS_EXECUTION_FAILED
+    {"internal", 14},// CUBLAS_STATUS_INTERNAL_ERROR
+    {"err", 14},
+};
+
+constexpr NameCode kCufftNames[] = {
+    {"plan", 1},     // CUFFT_INVALID_PLAN
+    {"alloc", 2},    // CUFFT_ALLOC_FAILED
+    {"oom", 2},
+    {"type", 3},     // CUFFT_INVALID_TYPE
+    {"inval", 4},    // CUFFT_INVALID_VALUE
+    {"internal", 5}, // CUFFT_INTERNAL_ERROR
+    {"err", 5},
+    {"exec", 6},     // CUFFT_EXEC_FAILED
+    {"setup", 7},    // CUFFT_SETUP_FAILED
+    {"size", 8},     // CUFFT_INVALID_SIZE
+};
+
+Domain domain_of(const std::string& api) {
+  if (api.rfind("MPI_", 0) == 0) return Domain::kMpi;
+  if (api.rfind("cublas", 0) == 0) return Domain::kCublas;
+  if (api.rfind("cufft", 0) == 0) return Domain::kCufft;
+  if (api.rfind("cuda", 0) == 0) return Domain::kCudaRt;
+  if (api.rfind("cu", 0) == 0) return Domain::kCudaDrv;
+  throw std::invalid_argument("faultsim: cannot infer API family of '" + api + "'");
+}
+
+int code_of(Domain d, const std::string& name, const std::string& api) {
+  const NameCode* table = nullptr;
+  std::size_t n = 0;
+  switch (d) {
+    case Domain::kCudaRt: table = kCudaRtNames; n = std::size(kCudaRtNames); break;
+    case Domain::kCudaDrv: table = kCudaDrvNames; n = std::size(kCudaDrvNames); break;
+    case Domain::kMpi: table = kMpiNames; n = std::size(kMpiNames); break;
+    case Domain::kCublas: table = kCublasNames; n = std::size(kCublasNames); break;
+    case Domain::kCufft: table = kCufftNames; n = std::size(kCufftNames); break;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (name == table[i].name) return table[i].code;
+  }
+  throw std::invalid_argument("faultsim: unknown error name '" + name + "' for '" + api +
+                              "'");
+}
+
+struct Rule {
+  std::string api;
+  int code = 0;
+  bool sticky = false;
+  int rank = -1;              ///< -1: any rank.
+  std::uint64_t at_call = 0;  ///< fire exactly on this 1-based call (0: unused).
+  std::uint64_t every = 0;    ///< fire on every N-th call (0: unused).
+  double prob = -1.0;         ///< fire with this probability (<0: unused).
+  std::uint64_t seed = 1;
+};
+
+struct Injector {
+  std::mutex mu;
+  std::vector<Rule> rules;
+  // Call counters are shared by all rules naming the same API so "3rd
+  // cudaMalloc" means the 3rd call, not the 3rd call seen by one rule.
+  std::map<std::pair<std::string, int>, std::uint64_t> calls;  // (api, rank)
+  std::map<std::pair<std::size_t, int>, simx::Xoshiro256> rng; // (rule, rank)
+  std::vector<Injection> log;
+};
+
+Injector& injector() {
+  static Injector inj;
+  return inj;
+}
+
+std::atomic<bool> g_active{false};
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::uint64_t parse_u64(const std::string& s, const std::string& what) {
+  if (s.empty()) throw std::invalid_argument("faultsim: missing number in " + what);
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("faultsim: bad number '" + s + "' in " + what);
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("faultsim: bad number '" + s + "' in " + what);
+  }
+  return v;
+}
+
+double parse_prob(const std::string& s, const std::string& what) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("faultsim: bad probability '" + s + "' in " + what);
+  }
+  if (pos != s.size() || v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("faultsim: bad probability '" + s + "' in " + what);
+  }
+  return v;
+}
+
+void parse_trigger(Rule& rule, const std::string& tok, const std::string& ctx) {
+  if (tok == "sticky") {
+    rule.sticky = true;
+  } else if (tok.rfind("p=", 0) == 0) {
+    rule.prob = parse_prob(tok.substr(2), ctx);
+  } else if (tok.rfind("seed=", 0) == 0) {
+    rule.seed = parse_u64(tok.substr(5), ctx);
+  } else if (tok.rfind("rank", 0) == 0 && tok.size() > 4) {
+    rule.rank = static_cast<int>(parse_u64(tok.substr(4), ctx));
+  } else if (tok.rfind("every", 0) == 0 && tok.size() > 5) {
+    rule.every = parse_u64(tok.substr(5), ctx);
+    if (rule.every == 0) throw std::invalid_argument("faultsim: every0 in " + ctx);
+  } else if (tok.rfind("call", 0) == 0 && tok.size() > 4) {
+    rule.at_call = parse_u64(tok.substr(4), ctx);
+    if (rule.at_call == 0) throw std::invalid_argument("faultsim: call0 in " + ctx);
+  } else if (!tok.empty() && tok.find_first_not_of("0123456789") == std::string::npos) {
+    rule.at_call = parse_u64(tok, ctx);
+    if (rule.at_call == 0) throw std::invalid_argument("faultsim: call 0 in " + ctx);
+  } else {
+    throw std::invalid_argument("faultsim: unknown trigger '" + tok + "' in " + ctx);
+  }
+}
+
+Rule parse_rule(const std::string& text) {
+  const std::string ctx = "'" + text + "'";
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument("faultsim: expected api:errname in " + ctx);
+  }
+  Rule rule;
+  rule.api = trim(text.substr(0, colon));
+  std::string rest = text.substr(colon + 1);
+  const std::size_t at = rest.find('@');
+  const std::string errname = trim(at == std::string::npos ? rest : rest.substr(0, at));
+  if (errname.empty()) {
+    throw std::invalid_argument("faultsim: missing error name in " + ctx);
+  }
+  rule.code = code_of(domain_of(rule.api), errname, rule.api);
+  if (at != std::string::npos) {
+    std::string triggers = rest.substr(at + 1);
+    std::size_t start = 0;
+    while (start <= triggers.size()) {
+      const std::size_t sep = triggers.find(':', start);
+      const std::string tok =
+          trim(triggers.substr(start, sep == std::string::npos ? sep : sep - start));
+      if (!tok.empty()) parse_trigger(rule, tok, ctx);
+      if (sep == std::string::npos) break;
+      start = sep + 1;
+    }
+  }
+  return rule;
+}
+
+bool rule_fires(Injector& inj, std::size_t rule_idx, const Rule& rule, int rank,
+                std::uint64_t call_index) {
+  if (rule.rank >= 0 && rule.rank != rank) return false;
+  if (rule.at_call != 0) return call_index == rule.at_call;
+  if (rule.every != 0) return call_index % rule.every == 0;
+  if (rule.prob >= 0.0) {
+    const std::pair<std::size_t, int> key{rule_idx, rank};
+    auto it = inj.rng.find(key);
+    if (it == inj.rng.end()) {
+      // Substream per (rule, rank): identical injection sites on every
+      // run regardless of how ranks interleave.
+      const std::uint64_t stream =
+          (static_cast<std::uint64_t>(rule_idx) << 32) ^
+          static_cast<std::uint64_t>(rank + 1);
+      it = inj.rng.emplace(key, simx::Xoshiro256::substream(rule.seed, stream)).first;
+    }
+    return it->second.uniform() < rule.prob;
+  }
+  return true;  // No trigger: fire on every call.
+}
+
+// Self-configure from $IPM_FAULT at process start so unmonitored
+// simulator usage (plain tests, LD_PRELOAD'ed binaries) honours the
+// variable without any IPM involvement.
+struct EnvLoader {
+  EnvLoader() { configure_from_env(); }
+};
+const EnvLoader env_loader;
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t sep = spec.find(',', start);
+    const std::string item =
+        trim(spec.substr(start, sep == std::string::npos ? sep : sep - start));
+    if (!item.empty()) rules.push_back(parse_rule(item));
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  inj.rules = std::move(rules);
+  inj.calls.clear();
+  inj.rng.clear();
+  inj.log.clear();
+  g_active.store(!inj.rules.empty(), std::memory_order_release);
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("IPM_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  try {
+    configure(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "IPM_FAULT ignored: %s\n", e.what());
+    clear();
+  }
+}
+
+void clear() {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  inj.rules.clear();
+  inj.calls.clear();
+  inj.rng.clear();
+  inj.log.clear();
+  g_active.store(false, std::memory_order_release);
+}
+
+bool active() noexcept { return g_active.load(std::memory_order_acquire); }
+
+Hit check(const char* api, int rank) {
+  if (!active()) return {};
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  bool counted = false;
+  std::uint64_t call_index = 0;
+  for (std::size_t i = 0; i < inj.rules.size(); ++i) {
+    const Rule& rule = inj.rules[i];
+    if (rule.api != api) continue;
+    if (!counted) {
+      call_index = ++inj.calls[{rule.api, rank}];
+      counted = true;
+    }
+    if (!rule_fires(inj, i, rule, rank, call_index)) continue;
+    inj.log.push_back(Injection{rule.api, rule.code, rule.sticky, rank, call_index});
+    return Hit{rule.code, rule.sticky};
+  }
+  return {};
+}
+
+std::vector<Injection> injection_log() {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  return inj.log;
+}
+
+std::uint64_t injected_count(const std::string& api, int code) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  std::uint64_t n = 0;
+  for (const Injection& rec : inj.log) {
+    if (rec.api == api && (code == 0 || rec.code == code)) ++n;
+  }
+  return n;
+}
+
+}  // namespace faultsim

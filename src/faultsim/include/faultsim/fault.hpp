@@ -1,0 +1,90 @@
+// Deterministic fault injection for the simulated CUDA/MPI/BLAS stack.
+//
+// A fault spec is a comma-separated list of rules:
+//
+//   rule     := api ':' errname [ '@' trigger ( ':' trigger )* ]
+//   trigger  := N | 'call' N        fire on the N-th call (1-based) of `api`
+//             | 'every' N           fire on every N-th call
+//             | 'p=' F              fire with probability F per call
+//             | 'seed=' N           RNG seed for p= rules (default 1)
+//             | 'rank' N            only on MPI rank N (default: all ranks)
+//             | 'sticky'            CUDA runtime: error persists until
+//                                   cudaDeviceReset (not cleared by
+//                                   cudaGetLastError)
+//
+// Examples:
+//   cudaMalloc:oom@3                    third cudaMalloc returns
+//                                       cudaErrorMemoryAllocation
+//   cudaMemcpy:err@p=0.01:seed=42      ~1% of copies fail, reproducibly
+//   MPI_Send:fail@rank1:call7          7th MPI_Send on rank 1 fails
+//   cudaLaunch:launch@every4:sticky    every 4th launch fails stickily
+//
+// The error name is resolved against the API's domain, inferred from its
+// prefix (MPI_* -> MPI classes, cublas* -> cublasStatus, cufft* ->
+// cufftResult, cuda* -> cudaError_t, cu* -> CUresult).  Every domain
+// accepts "err" as a generic error; unknown names are a configure error.
+//
+// The injector is process-global.  Simulator entry points consult
+// `check(api, rank)` before doing any work; a hit makes the entry point
+// return the injected code without side effects.  Every hit is appended
+// to an in-memory injection log so tests (and the acceptance criteria)
+// can compare the monitor's error accounting against ground truth.
+//
+// Randomised rules use simx::Xoshiro256 substreams keyed by (seed, rule
+// index, rank) so a given spec injects at identical call sites on every
+// run, independent of thread scheduling across *different* APIs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultsim {
+
+/// Result of a `check`: fired rule (code != 0) or no injection (code == 0).
+struct Hit {
+  int code = 0;        ///< Error code in the API's own domain; 0 = no fault.
+  bool sticky = false; ///< CUDA runtime sticky-error semantics requested.
+
+  explicit operator bool() const noexcept { return code != 0; }
+};
+
+/// One injected fault, recorded in call order per (api, rank).
+struct Injection {
+  std::string api;          ///< API name the rule matched (e.g. "cudaMemcpy").
+  int code = 0;             ///< Injected error code.
+  bool sticky = false;
+  int rank = -1;            ///< Rank passed to check() (-1: no rank context).
+  std::uint64_t call_index = 0;  ///< 1-based call count of `api` on `rank`.
+};
+
+/// Install a fault spec, replacing any previous configuration.  Throws
+/// std::invalid_argument with a descriptive message on malformed specs.
+/// An empty spec disables injection (same as clear()).
+void configure(const std::string& spec);
+
+/// Load the spec from $IPM_FAULT if set.  Parse errors are reported to
+/// stderr and leave injection disabled — the simulators must never crash
+/// because of a bad environment variable.  Called automatically at
+/// process start; exposed for tests.
+void configure_from_env();
+
+/// Drop all rules, per-call counters, and the injection log.
+void clear();
+
+/// Fast path: true when at least one rule is installed.
+bool active() noexcept;
+
+/// Consult the injector for one call of `api` on `rank` (-1 when no rank
+/// context exists, e.g. CUDA calls outside mpisim).  Advances the
+/// per-(api, rank) call counter; returns the first matching rule's fault.
+Hit check(const char* api, int rank);
+
+/// Snapshot of every injection so far, in global arrival order.
+std::vector<Injection> injection_log();
+
+/// Number of injections so far for `api` (all ranks), optionally
+/// restricted to one error code (code == 0: any code).
+std::uint64_t injected_count(const std::string& api, int code = 0);
+
+}  // namespace faultsim

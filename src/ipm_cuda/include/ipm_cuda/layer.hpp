@@ -43,6 +43,7 @@ struct LayerStats {
   std::uint64_t ktt_polls = 0;        ///< completion sweeps executed
   std::uint64_t ktt_completed = 0;    ///< kernels whose timing got recorded
   std::uint64_t ktt_slots_exhausted = 0;
+  std::uint64_t ktt_aborted = 0;      ///< entries rolled back (launch failed)
   std::uint64_t idle_probes = 0;
   std::uint64_t idle_recorded = 0;
 };
@@ -80,6 +81,14 @@ int ktt_begin(Monitor& mon, cudaStream_t stream);
 /// with the simulator); the slot must not keep `func`, which may point at a
 /// stack-local KernelDef that is gone by drain time.
 void ktt_end(Monitor& mon, int slot, const void* func);
+/// Roll back a claimed slot after a *failed* launch: destroy the cached
+/// events (the start event was recorded for work that never ran) so neither
+/// ktt_poll nor ktt_drain can observe the phantom kernel.
+void ktt_abort(Monitor& mon, int slot);
+/// Record a failed call under its per-error-code key (`base[ERR=slug]`)
+/// with zero bytes credited; the trace span carries the raw error code.
+void record_error(Monitor& mon, const PreparedKey& key, double begin, double duration,
+                  std::int32_t select, ErrDomain domain, std::int64_t code);
 }  // namespace detail
 
 /// Fig. 2: time the real call and record it under `key`.
@@ -99,11 +108,34 @@ auto timed_call(const PreparedKey& key, std::uint64_t bytes, std::int32_t select
   }
 }
 
+/// Status-checked variant: a failing call (per `domain`) is recorded under
+/// its per-error-code key with zero bytes credited, so failed work never
+/// pollutes the success statistics.
+template <typename Fn>
+auto timed_call(const PreparedKey& key, std::uint64_t bytes, std::int32_t select,
+                ErrDomain domain, Fn&& fn) {
+  static_assert(!std::is_void_v<decltype(fn())>,
+                "status-checked timed_call needs a status-returning call");
+  Monitor* mon = ipm::monitor();
+  if (mon == nullptr) return fn();
+  detail::maybe_poll_on_call(*mon);
+  const double begin = ipm::gettime();
+  auto ret = fn();
+  const double dur = ipm::gettime() - begin;
+  if (const auto code = static_cast<std::int64_t>(ret); is_error(domain, code)) {
+    detail::record_error(*mon, key, begin, dur, select, domain, code);
+  } else {
+    detail::record(*mon, key, begin, dur, bytes, select);
+  }
+  return ret;
+}
+
 /// Memory-transfer wrapper: direction tagging + host-idle probe (sync ops
-/// only) + KTT poll on device-to-host transfers.
+/// only) + KTT poll on device-to-host transfers.  Bytes are credited only
+/// when the transfer succeeds; failures land on `name(DIR)[ERR=slug]`.
 template <typename Fn>
 auto wrap_memcpy(const DirNames& names, std::uint64_t bytes, Dir dir, bool sync,
-                 cudaStream_t stream, Fn&& fn) {
+                 cudaStream_t stream, ErrDomain domain, Fn&& fn) {
   Monitor* mon = ipm::monitor();
   if (mon == nullptr) return fn();
   if (sync && mon->config().host_idle && (dir == Dir::kH2D || dir == Dir::kD2H ||
@@ -118,14 +150,21 @@ auto wrap_memcpy(const DirNames& names, std::uint64_t bytes, Dir dir, bool sync,
   const double begin = ipm::gettime();
   auto ret = fn();
   const double end = ipm::gettime();
-  detail::record(*mon, pick(names, dir), begin, end - begin, bytes, 0);
+  if (const auto code = static_cast<std::int64_t>(ret); is_error(domain, code)) {
+    detail::record_error(*mon, pick(names, dir), begin, end - begin, 0, domain, code);
+  } else {
+    detail::record(*mon, pick(names, dir), begin, end - begin, bytes, 0);
+  }
   return ret;
 }
 
 /// Kernel-launch wrapper: insert a KTT entry bracketing the launch with
-/// start/stop events, then time the (asynchronous) launch call itself.
+/// start/stop events, then time the (asynchronous) launch call itself.  A
+/// failed launch rolls its KTT entry back (no phantom @CUDA_EXEC record)
+/// and is accounted under the per-error-code key instead.
 template <typename Fn>
-auto wrap_launch(const PreparedKey& key, const void* func, cudaStream_t stream, Fn&& fn) {
+auto wrap_launch(const PreparedKey& key, const void* func, cudaStream_t stream,
+                 ErrDomain domain, Fn&& fn) {
   Monitor* mon = ipm::monitor();
   if (mon == nullptr) return fn();
   detail::maybe_poll_on_call(*mon);
@@ -133,9 +172,14 @@ auto wrap_launch(const PreparedKey& key, const void* func, cudaStream_t stream, 
   const double begin = ipm::gettime();
   const int slot = time_kernel ? detail::ktt_begin(*mon, stream) : -1;
   auto ret = fn();
-  if (slot >= 0) detail::ktt_end(*mon, slot, func);
   const double end = ipm::gettime();
-  detail::record(*mon, key, begin, end - begin, 0, 0);
+  if (const auto code = static_cast<std::int64_t>(ret); is_error(domain, code)) {
+    if (slot >= 0) detail::ktt_abort(*mon, slot);
+    detail::record_error(*mon, key, begin, end - begin, 0, domain, code);
+  } else {
+    if (slot >= 0) detail::ktt_end(*mon, slot, func);
+    detail::record(*mon, key, begin, end - begin, 0, 0);
+  }
   return ret;
 }
 

@@ -283,6 +283,37 @@ void ktt_end(Monitor& mon, int slot, const void* func) {
   if (cudasim_real_cudaEventRecord(e.stop, e.stream) == cudaSuccess) e.armed = true;
 }
 
+void ktt_abort(Monitor& mon, int slot) {
+  State& s = state(mon);
+  KttEntry& e = s.ktt[static_cast<std::size_t>(slot)];
+  if (!e.start_only) return;
+  e.start_only = false;
+  // The start event was recorded for work that never ran: destroy both
+  // cached events (not just disarm) so neither ktt_poll nor ktt_drain can
+  // observe the phantom kernel through a stale recorded event.
+  if (e.start != nullptr) {
+    cudasim_real_cudaEventDestroy(e.start);
+    e.start = nullptr;
+  }
+  if (e.stop != nullptr) {
+    cudasim_real_cudaEventDestroy(e.stop);
+    e.stop = nullptr;
+  }
+  e.stream = nullptr;
+  e.exec_key = PreparedKey{};
+  s.stats.ktt_aborted += 1;
+}
+
+void record_error(Monitor& mon, const PreparedKey& key, double begin, double duration,
+                  std::int32_t select, ErrDomain domain, std::int64_t code) {
+  const PreparedKey ekey = error_key(name_of(key.name).c_str(), domain, code);
+  mon.update(ekey, duration, 0, select);
+  if (mon.tracing()) {
+    mon.trace_span(ekey.name, begin, duration, 0, select, TraceKind::kHost,
+                   static_cast<std::int32_t>(code));
+  }
+}
+
 }  // namespace detail
 
 }  // namespace ipm::cuda

@@ -35,6 +35,7 @@ const char* kind_cat(ipm::TraceKind k) {
 
 /// One-character family tag for the ASCII timeline.
 char family_char(const ipm::TraceSpan& s) {
+  if (s.err != 0) return 'E';
   if (s.kind == ipm::TraceKind::kKernel) return 'K';
   if (s.kind == ipm::TraceKind::kIdle) return 'I';
   if (simx::starts_with(s.name, "MPI_")) return 'M';
@@ -98,14 +99,27 @@ void write_chrome_trace(std::ostream& os, const std::vector<ipm::RankTrace>& tra
             t.rank, lane.c_str(), s->t0 * 1e6, json_escape(s->name).c_str()));
         continue;
       }
-      emit(strprintf(
-          "{\"ph\":\"X\",\"pid\":%d,\"tid\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
-          "\"name\":\"%s\",\"cat\":\"%s\","
-          "\"args\":{\"region\":\"%s\",\"bytes\":%llu,\"select\":%d}}",
-          t.rank, lane.c_str(), s->t0 * 1e6, s->dur * 1e6,
-          json_escape(s->name).c_str(), kind_cat(s->kind),
-          json_escape(s->region).c_str(), static_cast<unsigned long long>(s->bytes),
-          s->select));
+      // Failed calls carry their raw error code; a distinct category makes
+      // them stand out (and colorable) in the Chrome trace viewer.
+      if (s->err != 0) {
+        emit(strprintf(
+            "{\"ph\":\"X\",\"pid\":%d,\"tid\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+            "\"name\":\"%s\",\"cat\":\"%s,error\","
+            "\"args\":{\"region\":\"%s\",\"bytes\":%llu,\"select\":%d,\"err\":%d}}",
+            t.rank, lane.c_str(), s->t0 * 1e6, s->dur * 1e6,
+            json_escape(s->name).c_str(), kind_cat(s->kind),
+            json_escape(s->region).c_str(), static_cast<unsigned long long>(s->bytes),
+            s->select, s->err));
+      } else {
+        emit(strprintf(
+            "{\"ph\":\"X\",\"pid\":%d,\"tid\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+            "\"name\":\"%s\",\"cat\":\"%s\","
+            "\"args\":{\"region\":\"%s\",\"bytes\":%llu,\"select\":%d}}",
+            t.rank, lane.c_str(), s->t0 * 1e6, s->dur * 1e6,
+            json_escape(s->name).c_str(), kind_cat(s->kind),
+            json_escape(s->region).c_str(), static_cast<unsigned long long>(s->bytes),
+            s->select));
+      }
     }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -137,7 +151,7 @@ void write_timeline(std::ostream& os, const ipm::JobProfile& job,
   const double per_col = window / width;
   os << strprintf("# timeline   : %zu ranks, %.6f - %.6f s, %d cols, %.3g s/col\n",
                   traces.size(), start, stop, width, per_col);
-  os << "#              (M=MPI C=CUDA/BLAS/FFT K=kernel I=idle *=other .=gap)\n";
+  os << "#              (M=MPI C=CUDA/BLAS/FFT K=kernel I=idle E=error *=other .=gap)\n";
   for (const ipm::RankTrace& t : traces) {
     // Bucket chars per lane; later spans in a bucket win (rare ties).
     std::map<std::string, std::string> lanes;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "faultsim/fault.hpp"
 #include "mpisim/real.h"
 #include "simcommon/clock.hpp"
 #include "world.hpp"
@@ -28,7 +29,22 @@ int check_count_type(int count, MPI_Datatype dt) {
   return MPI_SUCCESS;
 }
 
+/// Fault-injection gate for the data-moving entry points.  A hit makes
+/// the call return the injected MPI error class before touching the
+/// World, so no message is posted and no time is charged.  Beware that a
+/// rank-filtered fault on a *paired* operation (send/recv, collectives)
+/// leaves the peers blocked, exactly like a real lost message — inject
+/// symmetrically (no rankN trigger) when every rank must keep running.
+int fault_gate(const char* api) {
+  if (!faultsim::active()) return MPI_SUCCESS;
+  const faultsim::Hit hit = faultsim::check(api, World::current_rank());
+  return hit ? hit.code : MPI_SUCCESS;
+}
+
 }  // namespace
+
+#define MPISIM_FAULT_GATE(api) \
+  if (const int fault_ = fault_gate(api); fault_ != MPI_SUCCESS) return fault_
 
 extern "C" {
 
@@ -66,12 +82,14 @@ int mpisim_real_MPI_Comm_size(MPI_Comm comm, int* size) {
 }
 
 int mpisim_real_MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  MPISIM_FAULT_GATE("MPI_Comm_split");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (newcomm == nullptr) return MPI_ERR_ARG;
   return world().comm_split(comm, color, key, newcomm);
 }
 
 int mpisim_real_MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  MPISIM_FAULT_GATE("MPI_Comm_dup");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (newcomm == nullptr) return MPI_ERR_ARG;
   return world().comm_dup(comm, newcomm);
@@ -94,6 +112,7 @@ double mpisim_real_MPI_Wtime(void) { return simx::virtual_now(); }
 
 int mpisim_real_MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
                          MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Send");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   return world().send(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
@@ -102,6 +121,7 @@ int mpisim_real_MPI_Send(const void* buf, int count, MPI_Datatype dt, int dest, 
 
 int mpisim_real_MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int tag,
                          MPI_Comm comm, MPI_Status* status) {
+  MPISIM_FAULT_GATE("MPI_Recv");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   return world().recv(comm, buf, static_cast<std::size_t>(count) * datatype_size(dt),
@@ -110,6 +130,7 @@ int mpisim_real_MPI_Recv(void* buf, int count, MPI_Datatype dt, int source, int 
 
 int mpisim_real_MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest, int tag,
                           MPI_Comm comm, MPI_Request* request) {
+  MPISIM_FAULT_GATE("MPI_Isend");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   if (request == nullptr) return MPI_ERR_ARG;
@@ -119,6 +140,7 @@ int mpisim_real_MPI_Isend(const void* buf, int count, MPI_Datatype dt, int dest,
 
 int mpisim_real_MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int tag,
                           MPI_Comm comm, MPI_Request* request) {
+  MPISIM_FAULT_GATE("MPI_Irecv");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   if (request == nullptr) return MPI_ERR_ARG;
@@ -127,6 +149,7 @@ int mpisim_real_MPI_Irecv(void* buf, int count, MPI_Datatype dt, int source, int
 }
 
 int mpisim_real_MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  MPISIM_FAULT_GATE("MPI_Wait");
   if (request == nullptr) return MPI_ERR_ARG;
   const int rc = world().wait(*request, status);
   *request = MPI_REQUEST_NULL;
@@ -134,6 +157,7 @@ int mpisim_real_MPI_Wait(MPI_Request* request, MPI_Status* status) {
 }
 
 int mpisim_real_MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+  MPISIM_FAULT_GATE("MPI_Waitall");
   if (count < 0) return MPI_ERR_COUNT;
   if (requests == nullptr && count > 0) return MPI_ERR_ARG;
   int rc = MPI_SUCCESS;
@@ -149,6 +173,7 @@ int mpisim_real_MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype se
                              int dest, int sendtag, void* recvbuf, int recvcount,
                              MPI_Datatype recvtype, int source, int recvtag, MPI_Comm comm,
                              MPI_Status* status) {
+  MPISIM_FAULT_GATE("MPI_Sendrecv");
   MPI_Request req = MPI_REQUEST_NULL;
   if (const int e = mpisim_real_MPI_Isend(sendbuf, sendcount, sendtype, dest, sendtag,
                                           comm, &req);
@@ -172,12 +197,14 @@ int mpisim_real_MPI_Get_count(const MPI_Status* status, MPI_Datatype dt, int* co
 }
 
 int mpisim_real_MPI_Barrier(MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Barrier");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   return world().barrier(comm);
 }
 
 int mpisim_real_MPI_Bcast(void* buffer, int count, MPI_Datatype dt, int root,
                           MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Bcast");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
@@ -187,6 +214,7 @@ int mpisim_real_MPI_Bcast(void* buffer, int count, MPI_Datatype dt, int root,
 
 int mpisim_real_MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype dt,
                            MPI_Op op, int root, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Reduce");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
@@ -195,6 +223,7 @@ int mpisim_real_MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Da
 
 int mpisim_real_MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
                               MPI_Datatype dt, MPI_Op op, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Allreduce");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(count, dt); e != MPI_SUCCESS) return e;
   return world().reduce(comm, sendbuf, recvbuf, count, dt, op, 0, /*all=*/true);
@@ -202,6 +231,7 @@ int mpisim_real_MPI_Allreduce(const void* sendbuf, void* recvbuf, int count,
 
 int mpisim_real_MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                            void* recvbuf, int, MPI_Datatype, int root, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Gather");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
   if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
@@ -212,6 +242,7 @@ int mpisim_real_MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype send
 
 int mpisim_real_MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                               void* recvbuf, int, MPI_Datatype, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Allgather");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
   return world().gather(comm, sendbuf,
@@ -221,6 +252,7 @@ int mpisim_real_MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype s
 
 int mpisim_real_MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                             void* recvbuf, int, MPI_Datatype, int root, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Scatter");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
   if (root < 0 || root >= world().comm_of(comm)->size()) return MPI_ERR_RANK;
@@ -231,6 +263,7 @@ int mpisim_real_MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sen
 
 int mpisim_real_MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype,
                              void* recvbuf, int, MPI_Datatype, MPI_Comm comm) {
+  MPISIM_FAULT_GATE("MPI_Alltoall");
   if (const int e = check_comm(comm); e != MPI_SUCCESS) return e;
   if (const int e = check_count_type(sendcount, sendtype); e != MPI_SUCCESS) return e;
   return world().alltoall(comm, sendbuf,

@@ -144,6 +144,8 @@ SpecFile parse_spec(const std::string& text) {
           call.sync = true;
         } else if (tok == "async") {
           call.sync = false;
+        } else if (tok == "nostatus") {
+          call.nostatus = true;
         } else if (simx::starts_with(tok, "bytes=")) {
           call.bytes_expr = braced(tok, lineno);
         } else if (simx::starts_with(tok, "select=")) {
@@ -228,40 +230,60 @@ std::string stream_expr(const CallSpec& c) {
   return c.stream_arg;
 }
 
+/// Error domain of the wrapped call, derived from its return type (the spec
+/// is itself derived from the headers, so the return type is authoritative).
+/// Empty when the return value carries no error status — the wrapper then
+/// uses the plain (unchecked) helper overload.
+std::string domain_expr(const CallSpec& c) {
+  if (c.nostatus) return "";
+  if (c.ret == "cudaError_t") return "ipm::ErrDomain::kCudaRt";
+  if (c.ret == "CUresult") return "ipm::ErrDomain::kCudaDrv";
+  if (c.ret == "cublasStatus") return "ipm::ErrDomain::kCublas";
+  if (c.ret == "cufftResult") return "ipm::ErrDomain::kCufft";
+  if (c.ret == "int" && simx::starts_with(c.name, "MPI_")) return "ipm::ErrDomain::kMpi";
+  return "";
+}
+
 /// Emit the body shared by wrap and preload modes; `real_call` is the
 /// expression invoking the real function with the original arguments.
 std::string emit_body(const SpecFile& spec, const CallSpec& c,
                       const std::string& real_call) {
   std::string out;
   const std::string lambda = "[&] { return " + real_call + "; }";
+  const std::string domain = domain_expr(c);
+  // Status-checked calls pass their error domain to the helper; calls with
+  // no status domain (void returns, nostatus queries) keep the plain form.
+  const std::string domain_arg = domain.empty() ? "" : domain + ", ";
   switch (c.kind) {
     case CallKind::kMemcpy:
       out += "  static const ipm::cuda::DirNames kNames = ipm::cuda::make_dir_names(\"" +
              c.name + "\");\n";
       out += "  return ipm::cuda::wrap_memcpy(kNames, static_cast<std::uint64_t>(" +
              c.bytes_expr + "), " + dir_expr(c) + ", " + (c.sync ? "true" : "false") +
-             ", " + stream_expr(c) + ", " + lambda + ");\n";
+             ", " + stream_expr(c) + ", " +
+             (domain.empty() ? "ipm::ErrDomain::kNone" : domain) + ", " + lambda + ");\n";
       break;
     case CallKind::kLaunch:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  return ipm::cuda::wrap_launch(kKey, " + c.func_arg + ", " +
-             stream_expr(c) + ", " + lambda + ");\n";
+             stream_expr(c) + ", " +
+             (domain.empty() ? "ipm::ErrDomain::kNone" : domain) + ", " + lambda + ");\n";
       break;
     case CallKind::kConfigure:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  ipm::cuda::note_configured_stream(" + c.stream_arg + ");\n";
-      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
+      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + domain_arg + lambda + ");\n";
       break;
     case CallKind::kInit:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  (void)ipm::monitor();  // start monitoring this rank\n";
       out += "  ipm::trace_lifecycle_marker(kKey);\n";
-      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
+      out += "  return " + spec.timed_helper + "(kKey, 0, 0, " + domain_arg + lambda + ");\n";
       break;
     case CallKind::kFinalize:
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  ipm::trace_lifecycle_marker(kKey);\n";
-      out += "  auto ret = " + spec.timed_helper + "(kKey, 0, 0, " + lambda + ");\n";
+      out += "  auto ret = " + spec.timed_helper + "(kKey, 0, 0, " + domain_arg + lambda + ");\n";
       out += "  if (ipm::has_monitor()) ipm::rank_finalize();\n";
       out += "  return ret;\n";
       break;
@@ -269,7 +291,7 @@ std::string emit_body(const SpecFile& spec, const CallSpec& c,
       out += "  static const ipm::PreparedKey kKey = ipm::prepare_key(\"" + c.name + "\");\n";
       out += "  return " + spec.timed_helper + "(kKey, static_cast<std::uint64_t>(" +
              c.bytes_expr + "), static_cast<std::int32_t>(" + c.select_expr + "), " +
-             lambda + ");\n";
+             domain_arg + lambda + ");\n";
       break;
   }
   return out;

@@ -22,6 +22,14 @@
 //                              stream=pending uses the configured stream
 //   configure stream={arg}     cudaConfigureCall (remembers the stream)
 //   init | finalize            MPI_Init / MPI_Finalize specials
+//   nostatus                   the return value is a queried status, not an
+//                              error (cudaGetLastError, cudaEventQuery...):
+//                              suppress error-key accounting for this call
+//
+// Error accounting: wrappers whose return type names a known status domain
+// (cudaError_t, CUresult, cublasStatus, cufftResult, or int for MPI_*)
+// check the real call's return code and record failures under a separate
+// per-error-code hash key unless `nostatus` is given.
 #pragma once
 
 #include <string>
@@ -46,6 +54,7 @@ struct CallSpec {
   std::string kind_arg;    ///< memcpy: name of the cudaMemcpyKind argument
   std::string fixed_dir;   ///< memcpy: "h2d"/"d2h"/"d2d" when no kind arg
   bool sync = true;        ///< memcpy: blocking?
+  bool nostatus = false;   ///< return value is a query result, not an error
   std::string stream_arg;  ///< "" = default stream / pending
   std::string func_arg;    ///< launch: kernel handle argument
 };
