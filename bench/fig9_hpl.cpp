@@ -10,8 +10,11 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <map>
+#include <tuple>
 
 #include "apps/hpl.hpp"
+#include "ipm_live/live.hpp"
 #include "ipm_parse/export.hpp"
 #include "ipm_parse/trace.hpp"
 #include "mpisim/mpi.h"
@@ -31,6 +34,11 @@ int main() {
   cfg.trace = true;
   cfg.trace_log2_records = 18;
   cfg.trace_path = "fig9_hpl_trace";
+  // Live cluster telemetry: one snapshot per virtual second per rank,
+  // merged into fig9_hpl_timeseries.jsonl + a Prometheus-style file.
+  cfg.snapshot_interval = 1.0;
+  cfg.timeseries_path = "fig9_hpl_timeseries.jsonl";
+  cfg.prom_path = "fig9_hpl_metrics.prom";
   // Honor IPM_* overrides — notably IPM_FAULT, so error-path behavior of
   // the full stack can be exercised on this harness.
   cfg = ipm::config_from_env(cfg);
@@ -82,6 +90,54 @@ int main() {
   ipm::write_xml_file("fig9_hpl_profile.xml", job);
   ipm_parse::write_cube_file("fig9_hpl_profile.cube", job);
   std::puts("wrote fig9_hpl_profile.xml and fig9_hpl_profile.cube");
+
+  // Live telemetry: re-read the JSONL the collector wrote during the run
+  // and (a) check the conservation invariant — folding every published
+  // per-rank delta must land bit-exactly on the finalize profile — then
+  // (b) render the cluster roll-up report the operator would watch.
+  const ipm::live::TimeSeries ts =
+      ipm::live::read_timeseries_file(job.timeseries_file);
+  struct Fold {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    double tsum = 0.0;
+  };
+  std::map<std::tuple<int, std::string, std::uint32_t, std::int32_t>, Fold> fold;
+  for (const ipm::live::Sample& s : ts.samples) {
+    for (const ipm::live::KeyDelta& d : s.deltas) {
+      Fold& f = fold[{s.rank, d.name_str, d.region, d.select}];
+      f.count += d.dcount;
+      f.bytes += d.dbytes;
+      f.tsum += d.dtsum;
+    }
+  }
+  std::uint64_t checked = 0;
+  std::uint64_t bad = 0;
+  for (const auto& r : job.ranks) {
+    for (const auto& e : r.events) {
+      ++checked;
+      const auto it = fold.find({r.rank, e.name, e.region, e.select});
+      if (it == fold.end() || it->second.count != e.count ||
+          it->second.bytes != e.bytes || it->second.tsum != e.tsum) {
+        ++bad;
+      }
+    }
+  }
+  std::printf("snapshot conservation         : %llu/%llu event records bit-exact\n",
+              static_cast<unsigned long long>(checked - bad),
+              static_cast<unsigned long long>(checked));
+  std::printf("snapshots                     : %llu samples, %llu dropped, "
+              "%llu intervals\n",
+              static_cast<unsigned long long>(job.snapshot_samples()),
+              static_cast<unsigned long long>(job.snapshot_drops()),
+              static_cast<unsigned long long>(job.snapshot_intervals));
+  if (bad != 0) {
+    std::fprintf(stderr, "fig9_hpl: conservation violated for %llu records\n",
+                 static_cast<unsigned long long>(bad));
+    return 1;
+  }
+  ipm::live::write_timeseries_report(std::cout, ts);
+  std::puts("wrote fig9_hpl_timeseries.jsonl and fig9_hpl_metrics.prom");
 
   // Merge the per-rank traces into one Chrome-tracing JSON (the timeline
   // view of the same run) and print a terminal occupancy summary.

@@ -10,6 +10,9 @@
 // across changes; the bench_smoke ctest target validates the file.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "cudasim/control.hpp"
 #include "cudasim/cuda_runtime.h"
 #include "cudasim/kernel.hpp"
@@ -139,6 +142,28 @@ void BM_MonitorUpdateTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorUpdateTraced);
 
+/// Live-telemetry variant of the prepared-key path: snapshot publishing is
+/// armed (IPM_SNAPSHOT), so every table hit pays the per-slot epoch bump
+/// (seqlock write) instead of plain stat stores.  The interval is far past
+/// the virtual run time, so no capture fires mid-loop — this is the
+/// steady-state per-event cost of being observable.  Acceptance:
+/// <= 1.5x BM_MonitorUpdatePrepared, enforced by bench_smoke via the
+/// IPM_BENCH_LIVE_RATIO_MAX hook in main() below.
+void BM_MonitorUpdateLive(benchmark::State& state) {
+  simx::reset_default_context();
+  ipm::Config cfg;
+  cfg.snapshot_interval = 3600.0;
+  ipm::job_begin(cfg, "bench");
+  ipm::Monitor* mon = ipm::monitor();
+  const ipm::PreparedKey key = ipm::prepare_key("bench_monitor_live");
+  for (auto _ : state) {
+    mon->update(key, 1e-6, 4096, 0);
+  }
+  ipm::job_end();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonitorUpdateLive);
+
 /// Interning read path: re-interning an existing name (lock-free snapshot
 /// lookup; this is what dynamically named call sites pay per call).
 void BM_InternName(benchmark::State& state) {
@@ -262,6 +287,31 @@ int main(int argc, char** argv) {
                                 reporter.results)) {
     std::fprintf(stderr, "micro_overhead: cannot write BENCH_hotpath.json\n");
     return 1;
+  }
+  // Optional acceptance gate (set by bench_smoke with a filtered, longer
+  // run): the armed live-snapshot path must stay within RATIO_MAX x the
+  // plain prepared-key path.
+  if (const char* max_str = std::getenv("IPM_BENCH_LIVE_RATIO_MAX")) {
+    const double ratio_max = std::strtod(max_str, nullptr);
+    double prepared = 0.0;
+    double live = 0.0;
+    for (const benchx::BenchResult& r : reporter.results) {
+      if (r.name == "BM_MonitorUpdatePrepared") prepared = r.ns_per_op;
+      if (r.name == "BM_MonitorUpdateLive") live = r.ns_per_op;
+    }
+    if (prepared <= 0.0 || live <= 0.0) {
+      std::fprintf(stderr, "micro_overhead: live-ratio gate needs both "
+                           "BM_MonitorUpdatePrepared and BM_MonitorUpdateLive\n");
+      return 1;
+    }
+    const double ratio = live / prepared;
+    std::fprintf(stderr, "micro_overhead: live/prepared = %.3f (max %.2f)\n", ratio,
+                 ratio_max);
+    if (ratio > ratio_max) {
+      std::fprintf(stderr, "micro_overhead: live snapshot overhead ratio %.3f "
+                           "exceeds %.2f\n", ratio, ratio_max);
+      return 1;
+    }
   }
   return 0;
 }

@@ -9,6 +9,32 @@ if(NOT BENCH_BIN OR NOT WORK_DIR)
   message(FATAL_ERROR "bench_smoke: BENCH_BIN and WORK_DIR are required")
 endif()
 
+# 1. Live-snapshot overhead gate: a filtered, longer run of the prepared vs
+# armed-live monitor update pair; the binary itself enforces the <= 1.5x
+# ratio when IPM_BENCH_LIVE_RATIO_MAX is set (float math is easier there
+# than in CMake).  Runs first: the full run below rewrites the JSON.
+# The test is RUN_SERIAL, but scheduler noise can still skew a ~7 ns
+# measurement, so allow a couple of retries before declaring a regression.
+set(ratio_ok FALSE)
+foreach(attempt RANGE 1 3)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env IPM_BENCH_LIVE_RATIO_MAX=1.5
+            "${BENCH_BIN}" "--benchmark_filter=^BM_MonitorUpdate(Prepared|Live)$"
+            --benchmark_min_time=0.05
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(rc EQUAL 0)
+    set(ratio_ok TRUE)
+    break()
+  endif()
+  message(STATUS "bench_smoke: ratio gate attempt ${attempt} failed (${rc}), retrying")
+endforeach()
+if(NOT ratio_ok)
+  message(FATAL_ERROR "bench_smoke: live-snapshot ratio gate failed 3 attempts")
+endif()
+
+# 2. Full suite, whose JSON is validated below.
 execute_process(
   COMMAND "${BENCH_BIN}" --benchmark_min_time=0.001
   WORKING_DIRECTORY "${WORK_DIR}"
@@ -69,6 +95,7 @@ foreach(required
     BM_MonitorUpdate
     BM_MonitorUpdatePrepared
     BM_MonitorUpdateTraced
+    BM_MonitorUpdateLive
     BM_InternName
     BM_NameOf
     BM_WrappedCudaCall)

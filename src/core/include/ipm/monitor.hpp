@@ -18,7 +18,15 @@
 #include "ipm/hashtable.hpp"
 #include "ipm/trace.hpp"
 
+namespace simx {
+class RankClock;
+}
+
 namespace ipm {
+
+namespace live {
+class LivePublisher;
+}
 
 /// Policy for when the kernel timing table checks for completed kernels
 /// (paper §III-B: checking too often costs, too rarely delays attribution).
@@ -62,6 +70,20 @@ struct Config {
   /// "cudaMalloc:oom@3,cudaMemcpy:err@p=0.01:seed=42".  Empty: leave the
   /// injector alone (IPM_FAULT in the environment still self-configures).
   std::string fault;
+  /// Live telemetry (src/ipm_live): virtual-time interval in seconds between
+  /// per-rank delta snapshots (IPM_SNAPSHOT).  0 = off (the default; the
+  /// monitoring fast path then pays one relaxed load for the gate).
+  double snapshot_interval = 0.0;
+  /// Per-rank sample channel holds 2^snapshot_log2_samples pending samples;
+  /// beyond that, samples coalesce into the next interval and a drop is
+  /// counted (IPM_SNAPSHOT_SAMPLES).
+  unsigned snapshot_log2_samples = 8;
+  /// Cluster time-series JSONL path ("" derives "<log stem>_timeseries.jsonl"
+  /// from log_path, or "ipm_timeseries.jsonl"; IPM_TIMESERIES).
+  std::string timeseries_path;
+  /// Prometheus-style text exposition file, rewritten atomically each emitted
+  /// interval ("" = none; IPM_PROM_FILE).
+  std::string prom_path;
 };
 
 /// Populate a Config from IPM_* environment variables
@@ -93,6 +115,8 @@ struct RankProfile {
   std::string trace_file;           ///< per-rank trace file ("" = not traced)
   std::uint64_t trace_spans = 0;    ///< records flushed to trace_file
   std::uint64_t trace_drops = 0;    ///< records dropped (ring full)
+  std::uint64_t snapshot_samples = 0;  ///< live delta samples published
+  std::uint64_t snapshot_drops = 0;    ///< samples coalesced (channel full)
   std::vector<EventRecord> events;
   std::vector<std::string> regions;  ///< region id -> name
 
@@ -109,8 +133,20 @@ struct JobProfile {
   int nranks = 0;
   double start = 0.0;
   double stop = 0.0;
+  std::string timeseries_file;       ///< cluster time-series JSONL ("" = none)
+  double snapshot_interval = 0.0;    ///< live snapshot interval (0 = off)
+  std::uint64_t snapshot_intervals = 0;  ///< cluster points emitted
   std::vector<RankProfile> ranks;  ///< indexed by rank
+
+  /// Sum of per-rank live sample / drop counters.
+  [[nodiscard]] std::uint64_t snapshot_samples() const noexcept;
+  [[nodiscard]] std::uint64_t snapshot_drops() const noexcept;
 };
+
+/// True when `name` belongs to the classifier family behind
+/// RankProfile::time_in: "MPI", "CUDA", "CUBLAS", "CUFFT", "GPU"
+/// (pseudo @CUDA_EXEC), "IDLE" (@CUDA_HOST_IDLE).
+[[nodiscard]] bool name_in_family(const std::string& name, const std::string& family);
 
 class Monitor {
  public:
@@ -165,6 +201,10 @@ class Monitor {
   [[nodiscard]] TraceRing* trace_ring() noexcept { return trace_ring_.get(); }
   [[nodiscard]] const TraceRing* trace_ring() const noexcept { return trace_ring_.get(); }
 
+  /// True when this monitor publishes live delta snapshots
+  /// (Config::snapshot_interval > 0 and the publisher attached).
+  [[nodiscard]] bool live() const noexcept { return live_pub_ != nullptr; }
+
   /// Region stack (MPI_Pcontrol-style user regions).
   void region_begin(const std::string& name);
   void region_end();
@@ -192,6 +232,7 @@ class Monitor {
 
  private:
   friend RankProfile rank_finalize();
+  friend class live::LivePublisher;
   Config cfg_;
   PerfHashTable table_;
   std::unique_ptr<TraceRing> trace_ring_;  ///< present iff cfg_.trace
@@ -200,6 +241,14 @@ class Monitor {
   std::vector<std::uint32_t> region_stack_;
   std::vector<std::string> regions_;
   std::vector<std::function<void()>> finalize_hooks_;
+  /// Live telemetry publisher state (owned by ipm::live, attached at
+  /// construction when cfg_.snapshot_interval > 0).  The hot path checks
+  /// the pointer and the due time only; captures run in ipm_live.
+  live::LivePublisher* live_pub_ = nullptr;
+  double live_next_due_ = 0.0;
+  /// Calling rank's virtual clock, cached at construction so the per-event
+  /// due check skips the thread-local context lookup.
+  const simx::RankClock* clock_ = nullptr;
 };
 
 // --- job lifecycle ----------------------------------------------------------

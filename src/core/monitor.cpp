@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "ipm/report.hpp"
+#include "ipm_live/live.hpp"
 
 #include "faultsim/fault.hpp"
 #include "simcommon/clock.hpp"
@@ -81,6 +82,22 @@ std::uint64_t RankProfile::calls_in(const std::string& family) const {
   return total;
 }
 
+bool name_in_family(const std::string& name, const std::string& family) {
+  return in_family(name, family);
+}
+
+std::uint64_t JobProfile::snapshot_samples() const noexcept {
+  std::uint64_t total = 0;
+  for (const RankProfile& r : ranks) total += r.snapshot_samples;
+  return total;
+}
+
+std::uint64_t JobProfile::snapshot_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const RankProfile& r : ranks) total += r.snapshot_drops;
+  return total;
+}
+
 Config config_from_env(Config base) {
   const auto getenv_str = [](const char* key) -> const char* { return std::getenv(key); };
   if (const char* v = getenv_str("IPM_REPORT")) {
@@ -110,6 +127,14 @@ Config config_from_env(Config base) {
   }
   if (const char* v = getenv_str("IPM_TRACE_PATH")) base.trace_path = v;
   if (const char* v = getenv_str("IPM_FAULT")) base.fault = v;
+  if (const char* v = getenv_str("IPM_SNAPSHOT")) {
+    base.snapshot_interval = simx::parse_double(v);
+  }
+  if (const char* v = getenv_str("IPM_SNAPSHOT_SAMPLES")) {
+    base.snapshot_log2_samples = static_cast<unsigned>(simx::parse_i64(v));
+  }
+  if (const char* v = getenv_str("IPM_TIMESERIES")) base.timeseries_path = v;
+  if (const char* v = getenv_str("IPM_PROM_FILE")) base.prom_path = v;
   return base;
 }
 
@@ -118,9 +143,16 @@ Monitor::Monitor(const Config& cfg)
   if (cfg_.trace) trace_ring_ = std::make_unique<TraceRing>(cfg_.trace_log2_records);
   region_stack_.push_back(0);
   regions_.emplace_back("ipm_global");
+  // Cache the owning rank's clock: the live due-check runs per event and
+  // must not pay the thread-local context lookup.
+  clock_ = &simx::current_context().clock;
+  if (cfg_.snapshot_interval > 0.0) live::attach_rank(*this);
 }
 
 Monitor::~Monitor() {
+  // A monitor destroyed without rank_finalize (job_begin dropping a stale
+  // one) abandons its publisher: its samples reference a dying table.
+  if (live_pub_ != nullptr) live::abandon_rank(*this);
   if (layer_data != nullptr && layer_data_deleter) layer_data_deleter(layer_data);
 }
 
@@ -151,6 +183,12 @@ void Monitor::update_in_region(const PreparedKey& key, double duration,
   if (cfg_.monitor_charge > 0.0) {
     // Model IPM's own perturbation of the application (Fig. 8 experiment).
     simx::current_context().clock.advance(cfg_.monitor_charge);
+  }
+  // Live telemetry: virtual time only advances on this thread, so the
+  // interval boundary is observed here.  Cost when attached but not due:
+  // two loads and one predictable branch.
+  if (live_pub_ != nullptr && clock_->now() >= live_next_due_) {
+    live::capture(*this);
   }
 }
 
@@ -231,6 +269,13 @@ void job_begin(const Config& cfg, const std::string& command) {
   // IPM_FAULT from the environment is validated in configure_from_env).
   // An empty spec leaves the injector's current state alone.
   if (!cfg.fault.empty()) faultsim::configure(cfg.fault);
+  // (Re)start the live collector; a collector left over from a previous
+  // experiment is stopped either way.
+  if (cfg.snapshot_interval > 0.0) {
+    live::collector_start(cfg, command);
+  } else {
+    live::collector_stop();
+  }
   JobState& s = job();
   std::scoped_lock lk(s.mu);
   s.cfg = cfg;
@@ -305,7 +350,11 @@ RankProfile rank_finalize() {
   Monitor* m = has_monitor() ? t_owner.monitor.get() : nullptr;
   if (m == nullptr) return RankProfile{};
   for (const auto& hook : m->finalize_hooks_) hook();
+  // The finalize flush must see exactly the table the snapshot sees: hooks
+  // ran above, and nothing updates the table between these two lines.
+  if (m->live()) live::final_flush(*m);
   RankProfile p = m->snapshot();
+  if (m->live()) live::detach_rank(*m, p);
   if (m->tracing()) flush_trace(*m, p);
   {
     JobState& s = job();
@@ -335,6 +384,10 @@ JobProfile job_end() {
   // implicitly for the calling thread.
   if (has_monitor()) rank_finalize();
   JobProfile jp;
+  const live::CollectorSummary cs = live::collector_stop();
+  jp.timeseries_file = cs.timeseries_file;
+  jp.snapshot_interval = cs.interval;
+  jp.snapshot_intervals = cs.intervals;
   {
     std::scoped_lock lk(s.mu);
     jp.command = s.command;

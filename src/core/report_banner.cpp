@@ -250,6 +250,15 @@ void write_banner(std::ostream& os, const JobProfile& job, const BannerOptions& 
                     static_cast<unsigned long long>(trace_drops));
     os << "#\n";
   }
+  if (!job.timeseries_file.empty() || job.snapshot_samples() != 0) {
+    os << strprintf(
+        "# timeseries : %llu intervals x %.3g s in %s (%llu samples, %llu dropped)\n",
+        static_cast<unsigned long long>(job.snapshot_intervals), job.snapshot_interval,
+        job.timeseries_file.empty() ? "(unwritten)" : job.timeseries_file.c_str(),
+        static_cast<unsigned long long>(job.snapshot_samples()),
+        static_cast<unsigned long long>(job.snapshot_drops()));
+    os << "#\n";
+  }
   os << "#################################################################\n";
 }
 

@@ -29,6 +29,10 @@ void write_xml(std::ostream& os, const JobProfile& job) {
       attrs.emplace_back("trace_spans", std::to_string(r.trace_spans));
       attrs.emplace_back("trace_drops", std::to_string(r.trace_drops));
     }
+    if (r.snapshot_samples != 0 || r.snapshot_drops != 0) {
+      attrs.emplace_back("snapshot_samples", std::to_string(r.snapshot_samples));
+      attrs.emplace_back("snapshot_drops", std::to_string(r.snapshot_drops));
+    }
     w.open("task", attrs);
     // Group events per region so the log mirrors IPM's region structure.
     for (std::uint32_t region = 0; region < r.regions.size(); ++region) {
@@ -58,6 +62,16 @@ void write_xml(std::ostream& os, const JobProfile& job) {
   // Informational job-wide error summary (count per call per error code).
   // The parser derives the same summary from the `name[ERR=slug]` func
   // entries, so this section round-trips without being parsed itself.
+  // Live telemetry reference: where the cluster time series went and how
+  // many intervals / per-rank samples it holds.
+  if (!job.timeseries_file.empty()) {
+    w.leaf("timeseries",
+           {{"file", job.timeseries_file},
+            {"interval", simx::strprintf("%.9f", job.snapshot_interval)},
+            {"intervals", std::to_string(job.snapshot_intervals)},
+            {"samples", std::to_string(job.snapshot_samples())},
+            {"drops", std::to_string(job.snapshot_drops())}});
+  }
   const std::vector<ErrorRow> errs = error_summary(job);
   if (!errs.empty()) {
     std::uint64_t failed = 0;
@@ -101,6 +115,10 @@ JobProfile parse_xml(const std::string& doc) {
         static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("trace_spans", "0")));
     r.trace_drops =
         static_cast<std::uint64_t>(simx::parse_i64(task->attr_or("trace_drops", "0")));
+    r.snapshot_samples = static_cast<std::uint64_t>(
+        simx::parse_i64(task->attr_or("snapshot_samples", "0")));
+    r.snapshot_drops = static_cast<std::uint64_t>(
+        simx::parse_i64(task->attr_or("snapshot_drops", "0")));
     for (const auto* region : task->children_named("region")) {
       const auto id = static_cast<std::uint32_t>(simx::parse_i64(region->attr("id")));
       while (r.regions.size() <= id) r.regions.emplace_back("ipm_global");
@@ -119,6 +137,12 @@ JobProfile parse_xml(const std::string& doc) {
       }
     }
     job.ranks.push_back(std::move(r));
+  }
+  for (const auto* ts : root->children_named("timeseries")) {
+    job.timeseries_file = ts->attr_or("file", "");
+    job.snapshot_interval = simx::parse_double(ts->attr_or("interval", "0"));
+    job.snapshot_intervals =
+        static_cast<std::uint64_t>(simx::parse_i64(ts->attr_or("intervals", "0")));
   }
   job.nranks = static_cast<int>(job.ranks.size());
   return job;

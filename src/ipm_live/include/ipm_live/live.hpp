@@ -1,0 +1,247 @@
+// Live cluster telemetry: in-run delta snapshots and aggregation.
+//
+// The paper's IPM reports only at MPI_Finalize; a 48-rank run is a black
+// box until it exits.  This subsystem adds the operational layer: with
+// Config::snapshot_interval > 0 (IPM_SNAPSHOT) each rank's monitor
+// periodically captures a consistent view of its performance hash table
+// (hashtable.hpp live snapshot API), computes *deltas* against the
+// previous sample, and pushes them onto a bounded SPSC channel — the same
+// drop-counting, never-blocking discipline as the trace ring.  A process-
+// wide collector thread merges all ranks in virtual time into per-interval
+// cluster points and emits a JSONL time-series file (referenced from the
+// XML log) plus an optional Prometheus-style exposition file rewritten
+// atomically every emitted interval.
+//
+// Capture runs on the owning rank thread, piggybacked on Monitor::update —
+// virtual time only advances there, so that is the one place an interval
+// boundary can be observed.  The collector never touches a table; it only
+// consumes published samples.
+//
+// Conservation invariant: for every rank, folding all published deltas (in
+// publish order) reproduces the finalize RankProfile bit-exactly — counts
+// and bytes by exact integer arithmetic, tsum by construction: each
+// published dtsum is nudged (std::nextafter) until prev + dtsum rounds to
+// exactly the captured running total, and the publisher mirrors the
+// consumer's fold.  A full channel therefore never loses data: the sample
+// is skipped, a drop is counted, and the *next* successful capture
+// coalesces the skipped window; the finalize flush bypasses the channel
+// entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ipm/key.hpp"
+#include "ipm/monitor.hpp"
+
+namespace ipm::live {
+
+/// Per-(name, region, select) delta between two consecutive samples.
+struct KeyDelta {
+  NameId name = 0;          ///< in-process samples; 0 after a file read
+  std::string name_str;     ///< resolved on serialize / file read
+  std::uint32_t region = 0;
+  std::int32_t select = 0;
+  std::uint64_t dcount = 0;
+  std::uint64_t dbytes = 0;
+  double dtsum = 0.0;   ///< nudged so folding deltas conserves tsum exactly
+  double dflops = 0.0;  ///< estimated flops (operand-size model, see flops_per_call)
+};
+
+/// One rank's published delta sample covering virtual time (t0, t1].
+struct Sample {
+  int rank = 0;
+  std::uint64_t seq = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  bool final_flush = false;           ///< emitted on the finalize path
+  std::vector<std::string> regions;   ///< region id -> name at capture time
+  std::vector<KeyDelta> deltas;
+};
+
+/// Cluster-wide roll-up of one snapshot interval [t0, t1).
+struct ClusterPoint {
+  std::uint64_t k = 0;       ///< interval index (t0 = k * interval)
+  double t0 = 0.0;
+  double t1 = 0.0;
+  int ranks = 0;             ///< ranks that contributed a sample
+  int ranks_live = 0;        ///< ranks attached (denominator for busy %)
+  std::uint64_t samples = 0;
+  std::uint64_t devents = 0;   ///< monitored calls in the interval
+  double mpi_s = 0.0;          ///< rank-seconds in MPI_*
+  double cuda_s = 0.0;         ///< rank-seconds in CUDA API calls
+  double gpu_s = 0.0;          ///< device-seconds (@CUDA_EXEC kernels)
+  double idle_s = 0.0;         ///< rank-seconds in @CUDA_HOST_IDLE
+  double blas_s = 0.0;         ///< rank-seconds in CUBLAS
+  double fft_s = 0.0;          ///< rank-seconds in CUFFT
+  std::uint64_t mpi_bytes = 0;
+  std::uint64_t cuda_bytes = 0;
+  double flops = 0.0;          ///< estimated flops completed in the interval
+  /// region name -> estimated flops (per-region GFLOP rates).
+  std::vector<std::pair<std::string, double>> region_flops;
+
+  [[nodiscard]] double span() const noexcept { return t1 - t0; }
+};
+
+/// Bounded single-producer / single-consumer sample channel.  push() never
+/// blocks and never allocates slots: a full channel refuses the sample
+/// (the publisher counts the drop and coalesces into the next capture).
+class SampleChannel {
+ public:
+  explicit SampleChannel(unsigned log2_slots);
+
+  bool push(Sample&& s) noexcept;
+  bool pop(Sample& out);
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<Sample> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};  ///< consumer position
+  std::atomic<std::uint64_t> tail_{0};  ///< producer position
+};
+
+struct CollectorState;
+
+/// Per-rank delta publisher, owned via Monitor::live_pub_ from attach to
+/// detach/abandon (the collector deletes it after the final drain).
+class LivePublisher {
+ public:
+  LivePublisher(Monitor& m, int rank);
+
+  /// Capture the delta since the previous successful sample and publish it.
+  /// Runs on the owning rank thread only.
+  void capture(bool final_flush) noexcept;
+
+  /// Backends of the free seam functions below (LivePublisher is the
+  /// Monitor friend; the free functions are not).
+  static void do_attach(Monitor& m);
+  static void do_capture(Monitor& m, bool final_flush) noexcept;
+  static void do_detach(Monitor& m, RankProfile& p);
+  static void do_abandon(Monitor& m) noexcept;
+  static std::vector<Sample> do_drain(Monitor& m);
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] SampleChannel& channel() noexcept { return channel_; }
+  /// Finalize-flush samples that did not fit the channel (consumed by the
+  /// collector after `finalized`; ordering via the registry mutex).
+  [[nodiscard]] std::vector<Sample>& final_overflow() noexcept { return final_overflow_; }
+
+ private:
+  /// Consumer-fold mirror per (name, region, select): what a consumer that
+  /// folded every published delta holds right now.
+  struct Mirror {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    double tsum = 0.0;
+    double flops = 0.0;
+  };
+
+  Monitor* mon_;
+  int rank_;
+  SampleChannel channel_;
+  std::map<std::tuple<NameId, std::uint32_t, std::int32_t>, Mirror> mirrors_;
+  double prev_t_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t drops_ = 0;
+  std::vector<Sample> final_overflow_;
+
+  friend struct CollectorState;
+  bool finalized_ = false;  ///< guarded by the collector registry mutex
+};
+
+// --- publisher seam (called from ipm core) ----------------------------------
+
+/// Create and register this monitor's publisher (Monitor constructor calls
+/// this when cfg.snapshot_interval > 0).  Arms the table's live snapshots.
+void attach_rank(Monitor& m);
+
+/// Forced capture now (due-check lives in the Monitor hot path; tests call
+/// this directly).  No-op when `m` has no publisher.
+void capture(Monitor& m) noexcept;
+
+/// Finalize flush: capture the remaining delta, bypassing the bounded
+/// channel if full, so conservation holds unconditionally.  Call *before*
+/// Monitor::snapshot() with no table updates in between.
+void final_flush(Monitor& m) noexcept;
+
+/// Record sample/drop counters into `p`, hand the publisher to the
+/// collector (which drains and deletes it) and clear m's live state.
+void detach_rank(Monitor& m, RankProfile& p);
+
+/// Drop the publisher without flushing (stale monitor discarded at
+/// job_begin, or Monitor destruction without finalize).
+void abandon_rank(Monitor& m) noexcept;
+
+/// Test hook: pop every pending sample of m's channel (+ final overflow).
+/// Only valid while no collector is consuming (SPSC: one consumer).
+[[nodiscard]] std::vector<Sample> drain(Monitor& m);
+
+// --- collector --------------------------------------------------------------
+
+struct CollectorSummary {
+  std::string timeseries_file;
+  double interval = 0.0;
+  std::uint64_t intervals = 0;  ///< cluster points emitted
+};
+
+/// Start the cluster collector thread (job_begin calls this when
+/// cfg.snapshot_interval > 0).  Restarting an already running collector
+/// stops it first.
+void collector_start(const Config& cfg, const std::string& command);
+
+/// Stop the collector: drain every channel, emit all pending intervals,
+/// close the time-series file and return what was written.
+CollectorSummary collector_stop();
+
+[[nodiscard]] bool collector_running();
+
+// --- time-series file -------------------------------------------------------
+
+/// Time-series path for a config: explicit timeseries_path, else derived
+/// from the XML log path (profile.xml -> profile_timeseries.jsonl), else
+/// "ipm_timeseries.jsonl".
+[[nodiscard]] std::string timeseries_path(const Config& cfg);
+
+/// In-memory form of a time-series file: line 1 is a header object
+/// {"ipm_timeseries":1,"command":..,"interval":..}, then one JSON object
+/// per record — per-rank delta samples ("type":"sample", the conservation
+/// ground truth) interleaved with emitted cluster points ("type":"point").
+struct TimeSeries {
+  std::string command;
+  double interval = 0.0;
+  std::vector<ClusterPoint> points;
+  std::vector<Sample> samples;
+};
+
+[[nodiscard]] TimeSeries read_timeseries_file(const std::string& path);
+
+/// Serialization used by the collector (exposed for tests).
+[[nodiscard]] std::string timeseries_header_line(const std::string& command,
+                                                 double interval);
+[[nodiscard]] std::string sample_line(const Sample& s);
+[[nodiscard]] std::string point_line(const ClusterPoint& p);
+
+/// Estimated flops of ONE call with this event name and per-call operand
+/// bytes (the paper's §III-D byte counts: m*n*esize for BLAS-3, n*esize
+/// for BLAS-1, transform points for cufftPlan*).  An explicit model, not a
+/// measurement: BLAS-3 assumes square operands (flops = 2 * elems^1.5),
+/// cufftExec* records zero bytes so FFT work is attributed at plan time.
+[[nodiscard]] double flops_per_call(const std::string& name, std::uint64_t bytes);
+
+/// Per-interval cluster roll-up report with an ASCII sparkline per metric
+/// (`ipm_parse --timeseries`, fig9_hpl demo).
+void write_timeseries_report(std::ostream& os, const TimeSeries& ts);
+
+/// Sparkline helper: one glyph per value, " .:-=+*#%@" scaled to max.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace ipm::live

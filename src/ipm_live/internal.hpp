@@ -1,0 +1,28 @@
+// Shared state between the publisher seam and the collector thread.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace ipm::live {
+
+class LivePublisher;
+
+namespace detail {
+
+/// Process-wide publisher registry.  Every member is guarded by `mu`; the
+/// collector holds `mu` for a whole scan, so removing/deleting a publisher
+/// under `mu` can never race a drain.
+struct Registry {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<LivePublisher*> pubs;  ///< attached + finalized-awaiting-drain
+  bool collector_running = false;
+  int attached_count = 0;  ///< publishers attached since collector_start
+};
+
+[[nodiscard]] Registry& registry();
+
+}  // namespace detail
+}  // namespace ipm::live

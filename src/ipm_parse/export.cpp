@@ -49,7 +49,53 @@ void write_html(std::ostream& os, const ipm::JobProfile& job) {
     os << "<tr><td>" << r.rank << "</td><td>" << simx::xml::escape(r.hostname)
        << "</td><td>" << simx::strprintf("%.3f", r.wallclock()) << "</td></tr>\n";
   }
-  os << "</table>\n</body></html>\n";
+  os << "</table>\n";
+
+  // Per-region breakdown (MPI_Pcontrol regions), aggregated over ranks.
+  struct RegionAgg {
+    double tsum = 0.0;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, RegionAgg> regions;
+  double wall_total = 0.0;
+  for (const ipm::RankProfile& r : job.ranks) {
+    wall_total += r.wallclock();
+    for (const ipm::EventRecord& e : r.events) {
+      const std::string rname =
+          e.region < r.regions.size() ? r.regions[e.region] : "ipm_global";
+      RegionAgg& a = regions[rname];
+      a.tsum += e.tsum;
+      a.count += e.count;
+      a.bytes += e.bytes * e.count;
+    }
+  }
+  if (regions.size() > 1) {
+    os << "<h2>Regions</h2>\n<table><tr><th>region</th><th>time [s]</th>"
+          "<th>count</th><th>bytes</th><th>%wall</th></tr>\n";
+    for (const auto& [rname, a] : regions) {
+      os << "<tr><td>" << simx::xml::escape(rname) << "</td><td>"
+         << simx::strprintf("%.3f", a.tsum) << "</td><td>" << a.count << "</td><td>"
+         << a.bytes << "</td><td>"
+         << simx::strprintf("%.2f", wall_total > 0.0 ? 100.0 * a.tsum / wall_total : 0.0)
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  // Failed calls (the banner's `errors` block), when any were recorded.
+  const std::vector<ipm::ErrorRow> errs = ipm::error_summary(job);
+  if (!errs.empty()) {
+    os << "<h2>Errors</h2>\n<table><tr><th>call</th><th>error</th><th>count</th>"
+          "<th>time [s]</th></tr>\n";
+    for (const ipm::ErrorRow& e : errs) {
+      os << "<tr><td>" << simx::xml::escape(e.name) << "</td><td>"
+         << simx::xml::escape(e.err) << "</td><td>" << e.count << "</td><td>"
+         << simx::strprintf("%.3f", e.tsum) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  os << "</body></html>\n";
 }
 
 void write_html_file(const std::string& path, const ipm::JobProfile& job) {

@@ -8,12 +8,14 @@
 //   ipm_parse --compare <a.xml> <b.xml>     # side-by-side profile diff
 //   ipm_parse --trace out.json <profile.xml># merge per-rank traces (Chrome)
 //   ipm_parse --timeline <profile.xml>      # ASCII trace timeline
+//   ipm_parse --timeseries <profile.xml>    # live-telemetry roll-ups
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "ipm/report.hpp"
+#include "ipm_live/live.hpp"
 #include "ipm_parse/advisor.hpp"
 #include "ipm_parse/export.hpp"
 #include "ipm_parse/trace.hpp"
@@ -23,7 +25,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ipm_parse [--html FILE | --cube FILE | --advise | --trace FILE |"
-               " --timeline] <profile.xml>\n"
+               " --timeline | --timeseries] <profile.xml>\n"
                "       ipm_parse --compare <a.xml> <b.xml>\n");
   return 2;
 }
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool advise = false;
   bool timeline = false;
+  bool timeseries = false;
   bool do_compare = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
@@ -50,9 +53,17 @@ int main(int argc, char** argv) {
     else if (arg == "--cube" && i + 1 < argc) cube_out = argv[++i];
     else if (arg == "--trace" && i + 1 < argc) trace_out = argv[++i];
     else if (arg == "--timeline") timeline = true;
+    else if (arg == "--timeseries") timeseries = true;
     else if (arg == "--advise") advise = true;
     else if (arg == "--compare") do_compare = true;
-    else if (!arg.empty() && arg[0] == '-') return usage();
+    else if (arg == "--html" || arg == "--cube" || arg == "--trace") {
+      std::fprintf(stderr, "ipm_parse: option '%s' requires a file argument\n", arg.c_str());
+      return usage();
+    }
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ipm_parse: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
     else inputs.push_back(arg);
   }
   if (inputs.empty() || (do_compare && inputs.size() != 2)) return usage();
@@ -86,9 +97,25 @@ int main(int argc, char** argv) {
       }
       if (timeline) ipm_parse::write_timeline(std::cout, job, traces);
     }
+    if (timeseries) {
+      if (job.timeseries_file.empty()) {
+        std::fprintf(stderr, "ipm_parse: %s references no time series (run with "
+                             "Config::snapshot_interval / IPM_SNAPSHOT=<secs>)\n",
+                     input.c_str());
+        return 1;
+      }
+      // The XML stores the path as written at job end; like trace files it
+      // is resolved relative to the XML log's own directory.
+      std::string ts_path = job.timeseries_file;
+      const std::string dir = dir_of(input);
+      if (!dir.empty() && ts_path.front() != '/') ts_path = dir + "/" + ts_path;
+      const ipm::live::TimeSeries ts = ipm::live::read_timeseries_file(ts_path);
+      ipm::live::write_timeseries_report(std::cout, ts);
+    }
     if (advise) {
       ipm_parse::write_advice(std::cout, job);
-    } else if (html_out.empty() && cube_out.empty() && trace_out.empty() && !timeline) {
+    } else if (html_out.empty() && cube_out.empty() && trace_out.empty() && !timeline &&
+               !timeseries) {
       ipm::write_banner(std::cout, job, {.max_rows = 0, .full = true});
     }
   } catch (const std::exception& e) {

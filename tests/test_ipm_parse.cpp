@@ -1,7 +1,12 @@
 // Tests of ipm_parse: banner regeneration from the XML log, HTML report,
-// and the CUBE-like export (structure verified by parsing it back).
+// and the CUBE-like export (structure verified by parsing it back), plus
+// CLI behavior of the installed binary (flag validation).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -66,6 +71,51 @@ TEST(IpmParse, HtmlReportContainsTheProfile) {
   EXPECT_NE(out.find("MPI_Allreduce"), std::string::npos);
   EXPECT_NE(out.find("@CUDA_EXEC_STRM00"), std::string::npos);
   EXPECT_NE(out.find("<td>dirac01</td>"), std::string::npos);
+  // Single-region, error-free job: the optional sections stay absent.
+  EXPECT_EQ(out.find("<h2>Regions</h2>"), std::string::npos);
+  EXPECT_EQ(out.find("<h2>Errors</h2>"), std::string::npos);
+}
+
+TEST(IpmParse, HtmlReportHasRegionAndErrorSections) {
+  ipm::RankProfile r;
+  r.rank = 0;
+  r.hostname = "h";
+  r.stop = 10.0;
+  r.regions = {"ipm_global", "solve"};
+  ipm::EventRecord send;
+  send.name = "MPI_Send";
+  send.region = 0;
+  send.count = 4;
+  send.tsum = 1.0;
+  send.bytes = 4096;
+  r.events.push_back(send);
+  ipm::EventRecord gemm;
+  gemm.name = "cublasDgemm";
+  gemm.region = 1;
+  gemm.count = 2;
+  gemm.tsum = 3.0;
+  r.events.push_back(gemm);
+  ipm::EventRecord fail;
+  fail.name = "cudaMemcpy(H2D)[ERR=invalid-value]";
+  fail.region = 0;
+  fail.count = 1;
+  fail.tsum = 0.5;
+  r.events.push_back(fail);
+  ipm::JobProfile job;
+  job.command = "./region_app";
+  job.nranks = 1;
+  job.ranks.push_back(std::move(r));
+
+  std::ostringstream html;
+  ipm_parse::write_html(html, job);
+  const std::string out = html.str();
+  EXPECT_NE(out.find("<h2>Regions</h2>"), std::string::npos);
+  EXPECT_NE(out.find("<td>solve</td>"), std::string::npos);
+  EXPECT_NE(out.find("<td>ipm_global</td>"), std::string::npos);
+  EXPECT_NE(out.find("<td>3.000</td>"), std::string::npos);  // solve region time
+  EXPECT_NE(out.find("<h2>Errors</h2>"), std::string::npos);
+  EXPECT_NE(out.find("<td>invalid-value</td>"), std::string::npos);
+  EXPECT_NE(out.find("<td>cudaMemcpy(H2D)</td>"), std::string::npos);
 }
 
 TEST(IpmParse, CubeExportIsWellFormedAndComplete) {
@@ -112,6 +162,62 @@ TEST(IpmParse, FileRoundTripViaDisk) {
   EXPECT_TRUE(cubef.good());
   EXPECT_THROW(ipm_parse::write_html_file("/nonexistent_dir/x.html", back),
                std::runtime_error);
+}
+
+// --- CLI behavior of the ipm_parse binary ------------------------------------
+
+/// Run a shell command, capture combined stdout+stderr, return the raw
+/// wait status (use WEXITSTATUS).
+int run_capture(const std::string& cmd, std::string* output) {
+  std::array<char, 4096> buf{};
+  output->clear();
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    *output += buf.data();
+  }
+  return pclose(pipe);
+}
+
+const std::string kParseBin = IPM_PARSE_BIN;
+
+TEST(IpmParseCli, UnknownFlagIsNamedOnStderrAndExitsNonzero) {
+  std::string out;
+  const int rc = run_capture(kParseBin + " --frobnicate profile.xml", &out);
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2) << out;
+  EXPECT_NE(out.find("unknown option '--frobnicate'"), std::string::npos) << out;
+  EXPECT_NE(out.find("usage: ipm_parse"), std::string::npos) << out;
+}
+
+TEST(IpmParseCli, ValueFlagWithoutArgumentIsRejected) {
+  std::string out;
+  const int rc = run_capture(kParseBin + " --html", &out);
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2) << out;
+  EXPECT_NE(out.find("option '--html' requires a file argument"), std::string::npos)
+      << out;
+}
+
+TEST(IpmParseCli, NoInputPrintsUsage) {
+  std::string out;
+  const int rc = run_capture(kParseBin, &out);
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 2) << out;
+  EXPECT_NE(out.find("usage: ipm_parse"), std::string::npos) << out;
+}
+
+TEST(IpmParseCli, BannerRoundTripsThroughTheBinary) {
+  const ipm::JobProfile job = make_job();
+  const std::string dir = ::testing::TempDir();
+  const std::string xml_path = dir + "/cli_profile.xml";
+  ipm::write_xml_file(xml_path, job);
+  std::string out;
+  const int rc = run_capture(kParseBin + " " + xml_path, &out);
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 0) << out;
+  EXPECT_NE(out.find("##IPMv2.0"), std::string::npos);
+  EXPECT_NE(out.find("./parse_app"), std::string::npos);
 }
 
 }  // namespace
