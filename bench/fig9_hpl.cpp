@@ -95,6 +95,21 @@ int main() {
   // and (a) check the conservation invariant — folding every published
   // per-rank delta must land bit-exactly on the finalize profile — then
   // (b) render the cluster roll-up report the operator would watch.
+  //
+  // With IPM_AGG_ADDR set the samples streamed to the out-of-process
+  // ipm_aggd daemon instead and there is no local JSONL: the same check
+  // runs against the daemon's per-job file via `ipm_parse --conserve`
+  // (the CI aggregation leg does exactly that).
+  if (job.timeseries_file.empty()) {
+    std::printf("snapshots                     : %llu samples, %llu dropped "
+                "(streamed to ipm_aggd at %s)\n",
+                static_cast<unsigned long long>(job.snapshot_samples()),
+                static_cast<unsigned long long>(job.snapshot_drops()),
+                cfg.agg_addr.c_str());
+    std::puts("snapshot conservation         : deferred — run "
+              "`ipm_parse --conserve <daemon job.jsonl> fig9_hpl_profile.xml`");
+    return 0;
+  }
   const ipm::live::TimeSeries ts =
       ipm::live::read_timeseries_file(job.timeseries_file);
   struct Fold {

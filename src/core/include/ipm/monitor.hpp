@@ -84,6 +84,26 @@ struct Config {
   /// Prometheus-style text exposition file, rewritten atomically each emitted
   /// interval ("" = none; IPM_PROM_FILE).
   std::string prom_path;
+  /// Adaptive snapshot cadence (IPM_SNAPSHOT_ADAPTIVE, default on): the
+  /// publisher widens its virtual-time grid (backoff x2 up to x64) while
+  /// channel occupancy crosses the 3/4 high-water mark and recovers below
+  /// 1/4, trading resolution for fewer drops under a slow consumer.
+  bool snapshot_adaptive = true;
+  /// Out-of-process aggregation (src/ipm_aggd): address of the ipm_aggd
+  /// daemon, "unix:/path.sock" or "tcp:host:port" (IPM_AGG_ADDR).  When set
+  /// and snapshot_interval > 0, samples stream to the daemon instead of the
+  /// in-process collector.
+  std::string agg_addr;
+  /// Job id labelling this run's stream at the daemon (IPM_JOB_ID; ""
+  /// derives "job<pid>").
+  std::string job_id;
+  /// Real-time budget in seconds for the end-of-job socket flush handshake
+  /// (IPM_AGG_FLUSH_TIMEOUT).
+  double agg_flush_timeout = 10.0;
+  /// Transport fault injection: drop the daemon connection after every N
+  /// sample frames sent (IPM_AGG_CHAOS_KILL_EVERY; 0 = off).  Exercises the
+  /// reconnect + epoch-resume path deterministically in tests and CI.
+  unsigned agg_chaos_kill_every = 0;
 };
 
 /// Populate a Config from IPM_* environment variables

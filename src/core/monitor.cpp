@@ -135,6 +135,17 @@ Config config_from_env(Config base) {
   }
   if (const char* v = getenv_str("IPM_TIMESERIES")) base.timeseries_path = v;
   if (const char* v = getenv_str("IPM_PROM_FILE")) base.prom_path = v;
+  if (const char* v = getenv_str("IPM_SNAPSHOT_ADAPTIVE")) {
+    base.snapshot_adaptive = std::string(v) != "0";
+  }
+  if (const char* v = getenv_str("IPM_AGG_ADDR")) base.agg_addr = v;
+  if (const char* v = getenv_str("IPM_JOB_ID")) base.job_id = v;
+  if (const char* v = getenv_str("IPM_AGG_FLUSH_TIMEOUT")) {
+    base.agg_flush_timeout = simx::parse_double(v);
+  }
+  if (const char* v = getenv_str("IPM_AGG_CHAOS_KILL_EVERY")) {
+    base.agg_chaos_kill_every = static_cast<unsigned>(simx::parse_i64(v));
+  }
   return base;
 }
 

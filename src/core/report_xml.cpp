@@ -9,19 +9,21 @@
 
 namespace ipm {
 
+// %.17g round-trips doubles, so a profile parsed back from the log compares
+// bit-exactly against folded telemetry (`ipm_parse --conserve`).
 void write_xml(std::ostream& os, const JobProfile& job) {
   simx::xml::Writer w(os);
   w.open("ipm", {{"version", "2.0"},
                  {"command", job.command},
                  {"nranks", std::to_string(job.nranks)},
-                 {"start", simx::strprintf("%.9f", job.start)},
-                 {"stop", simx::strprintf("%.9f", job.stop)}});
+                 {"start", simx::strprintf("%.17g", job.start)},
+                 {"stop", simx::strprintf("%.17g", job.stop)}});
   for (const RankProfile& r : job.ranks) {
     std::vector<std::pair<std::string, std::string>> attrs{
         {"rank", std::to_string(r.rank)},
         {"host", r.hostname},
-        {"start", simx::strprintf("%.9f", r.start)},
-        {"stop", simx::strprintf("%.9f", r.stop)},
+        {"start", simx::strprintf("%.17g", r.start)},
+        {"stop", simx::strprintf("%.17g", r.stop)},
         {"mem_bytes", std::to_string(r.mem_bytes)},
         {"overflow", std::to_string(r.table_overflow)}};
     if (!r.trace_file.empty() || r.trace_drops != 0) {
@@ -49,9 +51,9 @@ void write_xml(std::ostream& os, const JobProfile& job) {
         if (e.region != region) continue;
         w.leaf("func", {{"name", e.name},
                         {"count", std::to_string(e.count)},
-                        {"tsum", simx::strprintf("%.9f", e.tsum)},
-                        {"tmin", simx::strprintf("%.9f", e.tmin)},
-                        {"tmax", simx::strprintf("%.9f", e.tmax)},
+                        {"tsum", simx::strprintf("%.17g", e.tsum)},
+                        {"tmin", simx::strprintf("%.17g", e.tmin)},
+                        {"tmax", simx::strprintf("%.17g", e.tmax)},
                         {"bytes", std::to_string(e.bytes)},
                         {"select", std::to_string(e.select)}});
       }
@@ -67,7 +69,7 @@ void write_xml(std::ostream& os, const JobProfile& job) {
   if (!job.timeseries_file.empty()) {
     w.leaf("timeseries",
            {{"file", job.timeseries_file},
-            {"interval", simx::strprintf("%.9f", job.snapshot_interval)},
+            {"interval", simx::strprintf("%.17g", job.snapshot_interval)},
             {"intervals", std::to_string(job.snapshot_intervals)},
             {"samples", std::to_string(job.snapshot_samples())},
             {"drops", std::to_string(job.snapshot_drops())}});
@@ -81,7 +83,7 @@ void write_xml(std::ostream& os, const JobProfile& job) {
       w.leaf("error", {{"call", e.name},
                        {"code", e.err},
                        {"count", std::to_string(e.count)},
-                       {"tsum", simx::strprintf("%.9f", e.tsum)}});
+                       {"tsum", simx::strprintf("%.17g", e.tsum)}});
     }
     w.close();
   }

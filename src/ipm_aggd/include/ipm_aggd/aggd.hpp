@@ -1,0 +1,151 @@
+// ipm_aggd: out-of-process cluster aggregation daemon.
+//
+// Receives per-rank delta-sample streams from many monitored processes —
+// over the wire.hpp framed socket protocol (Unix-domain or TCP) or by
+// tailing existing time-series JSONL files — and merges multiple
+// concurrent jobs in virtual time:
+//
+//   out_dir/<job>_timeseries.jsonl   per-job samples + ClusterPoints
+//   out_dir/fleet_timeseries.jsonl   fleet-wide ClusterPoints (all jobs)
+//   prom_path (ipm_agg.prom)         one exposition, `job`/`rank` labels
+//
+// Conservation: a sample frame is applied (written + merged) only when its
+// epoch exceeds the rank's last applied epoch, so client resends after a
+// reconnect are idempotent and folding a job's JSONL reproduces each
+// rank's finalize profile bit-exactly — the same invariant the in-process
+// collector guarantees (live.hpp).
+//
+// The daemon is a library class so tests run it in-process on a thread;
+// main.cpp wraps it into the `ipm_aggd` binary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipm_live/merge.hpp"
+#include "ipm_live/net.hpp"
+#include "ipm_live/wire.hpp"
+
+namespace ipm::aggd {
+
+struct Options {
+  /// Listen address ("unix:/path.sock" or "tcp:host:port"; "" = no socket,
+  /// tail-only mode).
+  std::string listen;
+  /// Output directory for the per-job and fleet JSONL files.
+  std::string out_dir = ".";
+  /// Exposition file ("" derives out_dir + "/ipm_agg.prom").
+  std::string prom_path;
+  /// Fleet-wide merge interval in virtual seconds.
+  double fleet_interval = 1.0;
+  /// Existing time-series JSONL files to tail (file fallback transport).
+  std::vector<std::string> tails;
+  /// Exit run() once this many jobs ended (0 = run until stop()).
+  int exit_after_jobs = 0;
+  /// Socket poll timeout per loop iteration, in milliseconds.
+  int poll_ms = 2;
+};
+
+/// Per-(job, rank) transport/resume state.
+struct RankState {
+  std::uint64_t last_epoch = 0;   ///< highest applied frame epoch
+  std::uint64_t samples = 0;      ///< sample frames applied
+  std::uint64_t resent = 0;       ///< duplicate frames deduplicated
+  std::uint64_t drops = 0;        ///< client-side snapshot drops (at fin)
+  bool finalized = false;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(Options opt);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind the listener and open the tails.  False + `err` on failure.
+  [[nodiscard]] bool start(std::string& err);
+
+  /// Serve until stop() or `exit_after_jobs` jobs ended.  Flushes every
+  /// open job and the fleet stream before returning.
+  void run();
+
+  /// Signal run() to return (callable from any thread).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // --- introspection (not thread-safe: call after run() returned) ----------
+
+  [[nodiscard]] std::string prom_path() const { return prom_path_; }
+  [[nodiscard]] std::string fleet_timeseries_path() const;
+  /// Output JSONL path for a job id ("" when the job is unknown).
+  [[nodiscard]] std::string job_timeseries_path(const std::string& job) const;
+  [[nodiscard]] std::vector<std::string> job_ids() const;
+  [[nodiscard]] const std::map<std::uint32_t, RankState>* job_ranks(
+      const std::string& job) const;
+  /// Protocol violations observed (poisoned decoders, truncated frames).
+  [[nodiscard]] std::uint64_t protocol_errors() const { return protocol_errors_; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    live::wire::Decoder dec;
+    std::string outbuf;
+    bool closed = false;
+  };
+
+  struct Job {
+    std::string id;
+    std::string command;
+    std::string ts_path;
+    std::ofstream out;
+    std::unique_ptr<live::JobMerger> merger;
+    std::map<std::uint32_t, RankState> ranks;
+    std::uint64_t fleet_base = 0;  ///< composite-rank offset in the fleet merge
+    bool ended = false;
+  };
+
+  struct Tail {
+    std::string path;
+    std::string job;
+    std::ifstream in;
+    bool done = false;
+  };
+
+  Job& get_job(const std::string& id, const std::string& command,
+               double interval);
+  void apply_sample(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                    live::Sample&& s, const std::string& raw_line);
+  void finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                     const std::string& payload);
+  void end_job(Job& job);
+  void emit_due(Job& job);
+  void emit_fleet_due(bool all);
+  void on_frame(Session& ses, const live::wire::Frame& f);
+  void pump_session(Session& ses);
+  void pump_tails();
+  void poll_once();
+  void write_prom();
+  void shutdown_flush();
+
+  Options opt_;
+  std::string prom_path_;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<Tail> tails_;
+  std::map<std::string, Job> jobs_;
+  live::JobMerger fleet_;
+  std::ofstream fleet_out_;
+  std::string fleet_path_;
+  int jobs_ended_ = 0;
+  std::uint64_t fleet_next_base_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  bool prom_dirty_ = false;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ipm::aggd

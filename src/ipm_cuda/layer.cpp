@@ -8,6 +8,8 @@
 #include "cudasim/control.hpp"
 #include "cudasim/kernel.hpp"
 #include "cudasim/real.h"
+#include "ipm_live/live.hpp"
+#include "simcommon/clock.hpp"
 #include "simcommon/str.hpp"
 
 namespace ipm::cuda {
@@ -84,6 +86,25 @@ double calibrate_bracket_overhead() {
   return overhead;
 }
 
+/// Ground-truth GpuProbe for live snapshots (live.hpp): fold the simulated
+/// hardware counters of this rank's node into the sample stream.  Exactly
+/// one rank per node reports (local_rank 0), so summing over ranks counts
+/// each device once; the probe returns cumulative totals and the publisher
+/// takes conserved deltas.
+bool device_counter_probe(double& flops, double& dram_bytes) {
+  const simx::ExecContext& ctx = simx::current_context();
+  if (ctx.local_rank != 0) return false;
+  const cusim::Topology& topo = cusim::topology();
+  flops = 0.0;
+  dram_bytes = 0.0;
+  for (int g = 0; g < topo.gpus_per_node; ++g) {
+    const cusim::DeviceCounters c = cusim::device_counters(ctx.node_id, g);
+    flops += c.flops;
+    dram_bytes += c.dram_bytes;
+  }
+  return true;
+}
+
 State& state(Monitor& mon) {
   if (mon.layer_data == nullptr) {
     auto* s = new State();
@@ -91,6 +112,7 @@ State& state(Monitor& mon) {
     mon.layer_data = s;
     mon.layer_data_deleter = [](void* p) { delete static_cast<State*>(p); };
     mon.add_finalize_hook([&mon] { ktt_drain(mon); });
+    ipm::live::set_gpu_probe(&device_counter_probe);
   }
   return *static_cast<State*>(mon.layer_data);
 }

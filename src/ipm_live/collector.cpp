@@ -1,21 +1,17 @@
-// Cluster collector: merges every rank's delta samples in virtual time
-// into per-interval cluster points, streamed to the time-series JSONL file
-// and summarized into the Prometheus-style exposition file.
-#include "ipm_live/live.hpp"
-
+// Consumer thread: drains every rank's sample channel and hands the
+// samples to the configured SampleSink — the in-process collector below
+// (JSONL time series + Prometheus exposition, merged by JobMerger) or the
+// socket client streaming to an external `ipm_aggd` daemon (client.cpp).
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <limits>
-#include <map>
 #include <memory>
-#include <set>
 #include <thread>
 #include <utility>
 
 #include "internal.hpp"
-#include "simcommon/str.hpp"
+#include "ipm_live/live.hpp"
+#include "ipm_live/merge.hpp"
 
 namespace ipm::live {
 
@@ -28,284 +24,143 @@ Registry& registry() {
 
 }  // namespace detail
 
-struct CollectorState {
-  // Configuration (set once in collector_start, read by the thread).
-  double interval = 0.0;
-  std::string command;
-  std::string ts_path;
-  std::string prom_path;
-
-  std::ofstream out;
-  std::thread thr;
-  bool stop_requested = false;  ///< guarded by registry().mu
-
-  // Interval aggregation (collector thread only).
-  struct Bucket {
-    std::set<int> ranks;
-    std::uint64_t samples = 0;
-    std::uint64_t devents = 0;
-    double mpi_s = 0.0, cuda_s = 0.0, gpu_s = 0.0, idle_s = 0.0;
-    double blas_s = 0.0, fft_s = 0.0;
-    std::uint64_t mpi_bytes = 0, cuda_bytes = 0;
-    double flops = 0.0;
-    std::map<std::string, double> region_flops;
-  };
-  std::map<std::uint64_t, Bucket> buckets;
-  std::map<int, double> watermark;  ///< rank -> latest published t1
-  std::set<int> finalized_ranks;
-  std::uint64_t next_emit = 0;
-  std::uint64_t intervals_emitted = 0;
-
-  // Cumulative totals for the Prometheus counters.
-  double tot_mpi_s = 0.0, tot_cuda_s = 0.0, tot_gpu_s = 0.0, tot_idle_s = 0.0;
-  double tot_blas_s = 0.0, tot_fft_s = 0.0, tot_flops = 0.0;
-  std::uint64_t tot_mpi_bytes = 0, tot_cuda_bytes = 0;
-  std::uint64_t tot_events = 0, tot_samples = 0;
-  ClusterPoint last;  ///< most recently emitted point (gauge source)
-
-  void process_sample(const Sample& s);
-  void emit_point(std::uint64_t k, int ranks_live);
-  void emit_due(const detail::Registry& reg);
-  void emit_all(const detail::Registry& reg);
-  void write_prom(int ranks_live, bool up) const;
-  void scan(detail::Registry& reg, bool drain_everything);
-};
-
 namespace {
 
-std::unique_ptr<CollectorState> g_state;
+/// In-process sink: the PR-4 collector behavior.  Streams every sample to
+/// the JSONL time-series file, merges them into ClusterPoints and rewrites
+/// the single-job (unlabelled) exposition file each emitted batch.
+class CollectorSink final : public SampleSink {
+ public:
+  CollectorSink(const Config& cfg, const std::string& command)
+      : merger_(cfg.snapshot_interval),
+        ts_path_(timeseries_path(cfg)),
+        prom_path_(cfg.prom_path) {
+    out_.open(ts_path_, std::ios::trunc);
+    if (!out_) {
+      std::fprintf(stderr, "ipm: cannot open time-series file %s\n",
+                   ts_path_.c_str());
+      return;
+    }
+    out_ << timeseries_header_line(command, cfg.snapshot_interval) << '\n';
+  }
 
-/// Classify one delta's event name into the banner families.
-struct Classified {
-  bool mpi, cuda, gpu, idle, blas, fft;
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  bool ready() override { return true; }
+
+  void consume(Sample&& s) override {
+    out_ << sample_line(s) << '\n';
+    merger_.add_sample(s);
+  }
+
+  void rank_finalized(int rank, std::uint64_t, std::uint64_t) override {
+    merger_.finalize_rank(rank);
+  }
+
+  void tick(const std::vector<int>& live_ranks, int ranks_live) override {
+    std::vector<ClusterPoint> pts;
+    merger_.emit_due(live_ranks, ranks_live, pts);
+    write_points(pts, ranks_live);
+  }
+
+  CollectorSummary finish(int ranks_live) override {
+    std::vector<ClusterPoint> pts;
+    merger_.emit_all(ranks_live, pts);
+    write_points(pts, ranks_live);
+    if (!prom_path_.empty()) write_prom(ranks_live, /*up=*/false);
+    out_ << end_line(merger_.intervals_emitted()) << '\n';
+    out_.flush();
+    CollectorSummary sum;
+    sum.timeseries_file = ts_path_;
+    sum.interval = merger_.interval();
+    sum.intervals = merger_.intervals_emitted();
+    return sum;
+  }
+
+ private:
+  void write_points(const std::vector<ClusterPoint>& pts, int ranks_live) {
+    if (pts.empty()) return;
+    for (const ClusterPoint& p : pts) out_ << point_line(p) << '\n';
+    out_.flush();  // live consumers tail the file mid-run
+    if (!prom_path_.empty()) write_prom(ranks_live, /*up=*/true);
+  }
+
+  void write_prom(int ranks_live, bool up) const {
+    const std::string tmp = prom_path_ + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) return;
+      char buf[64];
+      for (const PromItem& it : prom_items(merger_, ranks_live, up)) {
+        std::snprintf(buf, sizeof buf, "%.17g", it.value);
+        os << "# HELP " << it.name << ' ' << it.help << "\n# TYPE " << it.name
+           << (it.counter ? " counter\n" : " gauge\n") << it.name << ' ' << buf
+           << '\n';
+      }
+    }
+    // Atomic publish: readers always see a complete exposition.
+    std::rename(tmp.c_str(), prom_path_.c_str());
+  }
+
+  JobMerger merger_;
+  std::string ts_path_;
+  std::string prom_path_;
+  std::ofstream out_;
 };
 
-Classified classify(const std::string& name) {
-  return Classified{
-      name_in_family(name, "MPI"),  name_in_family(name, "CUDA"),
-      name_in_family(name, "GPU"),  name_in_family(name, "IDLE"),
-      name_in_family(name, "CUBLAS"), name_in_family(name, "CUFFT"),
-  };
-}
+struct ConsumerState {
+  std::unique_ptr<SampleSink> sink;
+  std::thread thr;
+  bool stop_requested = false;  ///< guarded by registry().mu
+  CollectorSummary summary;     ///< filled by the thread before it exits
+};
 
-}  // namespace
+std::unique_ptr<ConsumerState> g_state;
 
-void CollectorState::process_sample(const Sample& s) {
-  out << sample_line(s) << '\n';
-  const std::uint64_t k =
-      static_cast<std::uint64_t>(std::floor(std::max(0.0, s.t1) / interval));
-  Bucket& b = buckets[k];
-  b.ranks.insert(s.rank);
-  b.samples += 1;
-  for (const KeyDelta& d : s.deltas) {
-    const std::string& name = d.name_str.empty() ? name_of(d.name) : d.name_str;
-    const Classified c = classify(name);
-    b.devents += d.dcount;
-    if (c.mpi) {
-      b.mpi_s += d.dtsum;
-      b.mpi_bytes += d.dbytes;
-    } else if (c.gpu) {
-      b.gpu_s += d.dtsum;
-    } else if (c.idle) {
-      b.idle_s += d.dtsum;
-    } else if (c.blas) {
-      b.blas_s += d.dtsum;
-    } else if (c.fft) {
-      b.fft_s += d.dtsum;
-    } else if (c.cuda) {
-      b.cuda_s += d.dtsum;
-      b.cuda_bytes += d.dbytes;
-    }
-    if (d.dflops != 0.0) {
-      b.flops += d.dflops;
-      const std::string region = d.region < s.regions.size()
-                                     ? s.regions[d.region]
-                                     : simx::strprintf("region%u", d.region);
-      b.region_flops[region] += d.dflops;
-    }
-  }
-  auto [it, inserted] = watermark.try_emplace(s.rank, s.t1);
-  if (!inserted && s.t1 > it->second) it->second = s.t1;
-}
-
-void CollectorState::emit_point(std::uint64_t k, int ranks_live) {
-  ClusterPoint p;
-  p.k = k;
-  p.t0 = static_cast<double>(k) * interval;
-  p.t1 = static_cast<double>(k + 1) * interval;
-  p.ranks_live = ranks_live;
-  const auto it = buckets.find(k);
-  if (it != buckets.end()) {
-    const Bucket& b = it->second;
-    p.ranks = static_cast<int>(b.ranks.size());
-    p.samples = b.samples;
-    p.devents = b.devents;
-    p.mpi_s = b.mpi_s;
-    p.cuda_s = b.cuda_s;
-    p.gpu_s = b.gpu_s;
-    p.idle_s = b.idle_s;
-    p.blas_s = b.blas_s;
-    p.fft_s = b.fft_s;
-    p.mpi_bytes = b.mpi_bytes;
-    p.cuda_bytes = b.cuda_bytes;
-    p.flops = b.flops;
-    p.region_flops.assign(b.region_flops.begin(), b.region_flops.end());
-    buckets.erase(it);
-  }
-  out << point_line(p) << '\n';
-  out.flush();  // live consumers tail the file mid-run
-  tot_mpi_s += p.mpi_s;
-  tot_cuda_s += p.cuda_s;
-  tot_gpu_s += p.gpu_s;
-  tot_idle_s += p.idle_s;
-  tot_blas_s += p.blas_s;
-  tot_fft_s += p.fft_s;
-  tot_flops += p.flops;
-  tot_mpi_bytes += p.mpi_bytes;
-  tot_cuda_bytes += p.cuda_bytes;
-  tot_events += p.devents;
-  tot_samples += p.samples;
-  last = p;
-  intervals_emitted += 1;
-  if (!prom_path.empty()) write_prom(ranks_live, /*up=*/true);
-}
-
-/// Emit every interval all still-running ranks have fully covered: interval
-/// k closes once each attached, non-finalized rank has published a sample
-/// reaching past (k+1) * interval.
-void CollectorState::emit_due(const detail::Registry& reg) {
-  double min_wm = std::numeric_limits<double>::infinity();
+std::vector<int> live_ranks_of(const detail::Registry& reg) {
+  std::vector<int> out;
+  out.reserve(reg.pubs.size());
   for (const LivePublisher* pub : reg.pubs) {
-    if (pub->finalized_) continue;
-    const auto it = watermark.find(pub->rank());
-    min_wm = std::min(min_wm, it == watermark.end() ? 0.0 : it->second);
+    if (!pub->finalized()) out.push_back(pub->rank());
   }
-  if (std::isinf(min_wm)) {  // every rank finalized: nothing can grow anymore
-    emit_all(reg);
-    return;
-  }
-  while (static_cast<double>(next_emit + 1) * interval <= min_wm) {
-    emit_point(next_emit, reg.attached_count);
-    next_emit += 1;
-  }
+  return out;
 }
 
-/// Emit everything still pending (shutdown: all channels are drained).
-void CollectorState::emit_all(const detail::Registry& reg) {
-  while (!buckets.empty()) {
-    // Skip over fully idle gaps at shutdown rather than emitting a point
-    // per empty interval of a long tail.
-    if (buckets.begin()->first > next_emit &&
-        buckets.begin()->first > next_emit + 16) {
-      next_emit = buckets.begin()->first;
-    }
-    emit_point(next_emit, reg.attached_count);
-    next_emit += 1;
-  }
-}
-
-void CollectorState::write_prom(int ranks_live, bool up) const {
-  if (prom_path.empty()) return;
-  const std::string tmp = prom_path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) return;
-    char buf[160];
-    const auto counter = [&](const char* name, const char* help, double v) {
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
-         << " counter\n" << name << ' ' << buf << '\n';
-    };
-    const auto gauge = [&](const char* name, const char* help, double v) {
-      std::snprintf(buf, sizeof buf, "%.17g", v);
-      os << "# HELP " << name << ' ' << help << "\n# TYPE " << name
-         << " gauge\n" << name << ' ' << buf << '\n';
-    };
-    gauge("ipm_up", "1 while the monitored job is running.", up ? 1.0 : 0.0);
-    gauge("ipm_ranks", "Ranks attached to the collector.", ranks_live);
-    gauge("ipm_virtual_seconds", "Virtual time covered by emitted intervals.",
-          static_cast<double>(next_emit) * interval);
-    counter("ipm_snapshot_intervals_total", "Cluster points emitted.",
-            static_cast<double>(intervals_emitted));
-    counter("ipm_snapshot_samples_total", "Per-rank delta samples merged.",
-            static_cast<double>(tot_samples));
-    counter("ipm_events_total", "Monitored calls aggregated.",
-            static_cast<double>(tot_events));
-    counter("ipm_mpi_seconds_total", "Rank-seconds spent in MPI.", tot_mpi_s);
-    counter("ipm_cuda_seconds_total", "Rank-seconds spent in CUDA API calls.",
-            tot_cuda_s);
-    counter("ipm_gpu_seconds_total", "Device-seconds of kernel execution.",
-            tot_gpu_s);
-    counter("ipm_host_idle_seconds_total",
-            "Rank-seconds of implicit host blocking (@CUDA_HOST_IDLE).",
-            tot_idle_s);
-    counter("ipm_cublas_seconds_total", "Rank-seconds spent in CUBLAS.", tot_blas_s);
-    counter("ipm_cufft_seconds_total", "Rank-seconds spent in CUFFT.", tot_fft_s);
-    counter("ipm_mpi_bytes_total", "Bytes moved by MPI calls.",
-            static_cast<double>(tot_mpi_bytes));
-    counter("ipm_cuda_bytes_total", "Bytes moved by CUDA memory calls.",
-            static_cast<double>(tot_cuda_bytes));
-    counter("ipm_flops_total", "Estimated floating-point operations.", tot_flops);
-    // Last-interval gauges: rates over the interval, busy ratios over the
-    // available rank-seconds (ranks_live * interval).
-    const double span = last.span() > 0.0 ? last.span() : interval;
-    const double avail = span * std::max(1, last.ranks_live);
-    gauge("ipm_gpu_busy_ratio", "GPU busy fraction over the last interval.",
-          last.gpu_s / avail);
-    gauge("ipm_host_idle_ratio",
-          "Host-idle fraction over the last interval.", last.idle_s / avail);
-    gauge("ipm_mpi_ratio", "MPI fraction over the last interval.",
-          last.mpi_s / avail);
-    gauge("ipm_mpi_bytes_per_second",
-          "MPI throughput over the last interval (virtual time).",
-          static_cast<double>(last.mpi_bytes) / span);
-    gauge("ipm_cuda_bytes_per_second",
-          "CUDA memcpy throughput over the last interval (virtual time).",
-          static_cast<double>(last.cuda_bytes) / span);
-    gauge("ipm_gflops", "Estimated GFLOP rate over the last interval.",
-          last.flops / span * 1e-9);
-  }
-  // Atomic publish: readers always see a complete exposition.
-  std::rename(tmp.c_str(), prom_path.c_str());
-}
-
-void CollectorState::scan(detail::Registry& reg, bool drain_everything) {
+/// One consumer pass: pop what the sink will take, retire finalized
+/// publishers (their drain bypasses backpressure — conservation over
+/// buffering bounds), then let the sink make progress.  Registry lock held.
+void scan(detail::Registry& reg, SampleSink& sink, bool drain_everything) {
   Sample s;
   for (auto it = reg.pubs.begin(); it != reg.pubs.end();) {
     LivePublisher* pub = *it;
-    while (pub->channel().pop(s)) process_sample(s);
-    if (pub->finalized_) {
-      for (const Sample& f : pub->final_overflow()) process_sample(f);
-      finalized_ranks.insert(pub->rank());
-      watermark.erase(pub->rank());
+    while ((drain_everything || sink.ready()) && pub->channel().pop(s)) {
+      sink.consume(std::move(s));
+    }
+    if (pub->finalized()) {
+      while (pub->channel().pop(s)) sink.consume(std::move(s));
+      for (Sample& f : pub->final_overflow()) sink.consume(std::move(f));
+      sink.rank_finalized(pub->rank(), pub->samples(), pub->drops());
       delete pub;
       it = reg.pubs.erase(it);
     } else {
       ++it;
     }
   }
-  if (drain_everything) {
-    emit_all(reg);
-  } else {
-    emit_due(reg);
-  }
+  sink.tick(live_ranks_of(reg), reg.attached_count);
 }
+
+}  // namespace
 
 void collector_start(const Config& cfg, const std::string& command) {
   collector_stop();
   if (cfg.snapshot_interval <= 0.0) return;
-  auto st = std::make_unique<CollectorState>();
-  st->interval = cfg.snapshot_interval;
-  st->command = command;
-  st->ts_path = timeseries_path(cfg);
-  st->prom_path = cfg.prom_path;
-  st->out.open(st->ts_path, std::ios::trunc);
-  if (!st->out) {
-    std::fprintf(stderr, "ipm: cannot open time-series file %s\n",
-                 st->ts_path.c_str());
-    return;
+  auto st = std::make_unique<ConsumerState>();
+  if (!cfg.agg_addr.empty()) st->sink = make_socket_sink(cfg, command);
+  if (st->sink == nullptr) {
+    auto collector = std::make_unique<CollectorSink>(cfg, command);
+    if (!collector->ok()) return;
+    st->sink = std::move(collector);
   }
-  st->out << timeseries_header_line(command, cfg.snapshot_interval) << '\n';
   detail::Registry& reg = detail::registry();
   {
     std::scoped_lock lk(reg.mu);
@@ -314,16 +169,15 @@ void collector_start(const Config& cfg, const std::string& command) {
   }
   g_state = std::move(st);
   g_state->thr = std::thread([] {
-    CollectorState& c = *g_state;
+    ConsumerState& c = *g_state;
     detail::Registry& r = detail::registry();
     std::unique_lock lk(r.mu);
     while (!c.stop_requested) {
-      c.scan(r, /*drain_everything=*/false);
+      scan(r, *c.sink, /*drain_everything=*/false);
       r.cv.wait_for(lk, std::chrono::milliseconds(2));
     }
-    c.scan(r, /*drain_everything=*/true);
-    if (!c.prom_path.empty()) c.write_prom(r.attached_count, /*up=*/false);
-    c.out.flush();
+    scan(r, *c.sink, /*drain_everything=*/true);
+    c.summary = c.sink->finish(r.attached_count);
   });
 }
 
@@ -336,11 +190,7 @@ CollectorSummary collector_stop() {
     reg.cv.notify_all();
   }
   g_state->thr.join();
-  CollectorSummary sum;
-  sum.timeseries_file = g_state->ts_path;
-  sum.interval = g_state->interval;
-  sum.intervals = g_state->intervals_emitted;
-  g_state->out.close();
+  CollectorSummary sum = std::move(g_state->summary);
   {
     std::scoped_lock lk(reg.mu);
     reg.collector_running = false;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -60,6 +61,10 @@ struct Sample {
   double t0 = 0.0;
   double t1 = 0.0;
   bool final_flush = false;           ///< emitted on the finalize path
+  /// Device-counter ground truth deltas (cusim::device_counters, via the
+  /// GpuProbe seam; reported by one rank per node, 0 elsewhere).
+  double ddev_flops = 0.0;
+  double ddev_bytes = 0.0;
   std::vector<std::string> regions;   ///< region id -> name at capture time
   std::vector<KeyDelta> deltas;
 };
@@ -82,6 +87,8 @@ struct ClusterPoint {
   std::uint64_t mpi_bytes = 0;
   std::uint64_t cuda_bytes = 0;
   double flops = 0.0;          ///< estimated flops completed in the interval
+  double dev_flops = 0.0;      ///< device-counter flops (modelled ground truth)
+  double dev_bytes = 0.0;      ///< device-counter DRAM traffic
   /// region name -> estimated flops (per-region GFLOP rates).
   std::vector<std::pair<std::string, double>> region_flops;
 
@@ -98,6 +105,11 @@ class SampleChannel {
   bool push(Sample&& s) noexcept;
   bool pop(Sample& out);
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+  /// Pending samples (producer-side view; the adaptive-cadence input).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    head_.load(std::memory_order_acquire));
+  }
 
  private:
   std::vector<Sample> slots_;
@@ -106,10 +118,8 @@ class SampleChannel {
   std::atomic<std::uint64_t> tail_{0};  ///< producer position
 };
 
-struct CollectorState;
-
 /// Per-rank delta publisher, owned via Monitor::live_pub_ from attach to
-/// detach/abandon (the collector deletes it after the final drain).
+/// detach/abandon (the consumer thread deletes it after the final drain).
 class LivePublisher {
  public:
   LivePublisher(Monitor& m, int rank);
@@ -125,14 +135,20 @@ class LivePublisher {
   static void do_detach(Monitor& m, RankProfile& p);
   static void do_abandon(Monitor& m) noexcept;
   static std::vector<Sample> do_drain(Monitor& m);
+  static std::uint32_t do_backoff(Monitor& m) noexcept;
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  /// Adaptive-cadence backoff: 1 at the base grid, doubled (up to 64) while
+  /// channel occupancy sits above the high-water mark (see capture()).
+  [[nodiscard]] std::uint32_t backoff_factor() const noexcept { return backoff_; }
   [[nodiscard]] SampleChannel& channel() noexcept { return channel_; }
   /// Finalize-flush samples that did not fit the channel (consumed by the
   /// collector after `finalized`; ordering via the registry mutex).
   [[nodiscard]] std::vector<Sample>& final_overflow() noexcept { return final_overflow_; }
+  /// True once the owning rank detached (guarded by the registry mutex).
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
 
  private:
   /// Consumer-fold mirror per (name, region, select): what a consumer that
@@ -144,17 +160,21 @@ class LivePublisher {
     double flops = 0.0;
   };
 
+  void adapt_cadence(Monitor& m, double now, bool published) noexcept;
+
   Monitor* mon_;
   int rank_;
   SampleChannel channel_;
   std::map<std::tuple<NameId, std::uint32_t, std::int32_t>, Mirror> mirrors_;
   double prev_t_;
+  /// Device-counter fold position (advances on publish, like mirrors_).
+  double dev_flops_ = 0.0;
+  double dev_bytes_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t drops_ = 0;
+  std::uint32_t backoff_ = 1;  ///< adaptive cadence grid multiplier
   std::vector<Sample> final_overflow_;
-
-  friend struct CollectorState;
   bool finalized_ = false;  ///< guarded by the collector registry mutex
 };
 
@@ -185,7 +205,22 @@ void abandon_rank(Monitor& m) noexcept;
 /// Only valid while no collector is consuming (SPSC: one consumer).
 [[nodiscard]] std::vector<Sample> drain(Monitor& m);
 
-// --- collector --------------------------------------------------------------
+/// Adaptive-cadence grid multiplier of m's publisher (1 when none).
+[[nodiscard]] std::uint32_t backoff_factor(Monitor& m) noexcept;
+
+// --- device-counter ground truth seam ---------------------------------------
+
+/// Optional ground-truth probe: fills cumulative modelled device flops and
+/// DRAM bytes for the calling rank's share of the fleet (the ipm_cuda layer
+/// registers one backed by cusim::device_counters; one rank per node
+/// reports, the rest return false).  Called on the rank thread during
+/// capture; keeps ipm_live free of any simulator dependency.
+using GpuProbe = bool (*)(double& flops, double& dram_bytes);
+
+void set_gpu_probe(GpuProbe probe) noexcept;
+[[nodiscard]] GpuProbe gpu_probe() noexcept;
+
+// --- sample sinks ------------------------------------------------------------
 
 struct CollectorSummary {
   std::string timeseries_file;
@@ -193,13 +228,57 @@ struct CollectorSummary {
   std::uint64_t intervals = 0;  ///< cluster points emitted
 };
 
-/// Start the cluster collector thread (job_begin calls this when
-/// cfg.snapshot_interval > 0).  Restarting an already running collector
-/// stops it first.
+/// Consumer side of the publisher channels.  One process-wide consumer
+/// thread drains every rank channel and hands samples to exactly one sink:
+/// the in-process collector (JSONL + exposition, the PR-4 behavior) or the
+/// socket client streaming to an external `ipm_aggd` daemon.  All methods
+/// run on the consumer thread with the registry lock held.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  /// Backpressure: while false the consumer stops popping rank channels,
+  /// so samples stay under the publishers' bounded drop-and-coalesce
+  /// discipline instead of accumulating unboundedly in the sink.
+  [[nodiscard]] virtual bool ready() = 0;
+
+  /// Take ownership of one published sample.  A consumed sample must never
+  /// be lost: the publisher's conservation mirror has already advanced
+  /// past it (finalize-flush consumption bypasses ready()).
+  virtual void consume(Sample&& s) = 0;
+
+  /// `rank` detached after its final flush was consumed.
+  virtual void rank_finalized(int rank, std::uint64_t samples,
+                              std::uint64_t drops) = 0;
+
+  /// Periodic tick after each channel scan. `live_ranks` are the attached,
+  /// not-yet-finalized ranks (interval emission barrier); `ranks_live` the
+  /// attach count since start.
+  virtual void tick(const std::vector<int>& live_ranks, int ranks_live) = 0;
+
+  /// Everything drained; flush outputs and report what was written.  A
+  /// socket sink blocks here (bounded by a real-time deadline) until the
+  /// daemon acknowledged the stream.
+  virtual CollectorSummary finish(int ranks_live) = 0;
+};
+
+/// Factory for the socket-client sink (client.cpp): streams samples to the
+/// `ipm_aggd` daemon at cfg.agg_addr with bounded buffering, exponential
+/// backoff reconnect and epoch-based resume.  Returns nullptr when
+/// cfg.agg_addr does not parse (caller falls back to the in-process sink).
+[[nodiscard]] std::unique_ptr<SampleSink> make_socket_sink(
+    const Config& cfg, const std::string& command);
+
+// --- collector --------------------------------------------------------------
+
+/// Start the consumer thread (job_begin calls this when
+/// cfg.snapshot_interval > 0).  With cfg.agg_addr set the samples stream to
+/// the out-of-process daemon; otherwise the in-process collector merges
+/// them.  Restarting an already running consumer stops it first.
 void collector_start(const Config& cfg, const std::string& command);
 
-/// Stop the collector: drain every channel, emit all pending intervals,
-/// close the time-series file and return what was written.
+/// Stop the consumer: drain every channel, finish the sink (emit pending
+/// intervals / flush the socket) and return what was written.
 CollectorSummary collector_stop();
 
 [[nodiscard]] bool collector_running();
@@ -229,6 +308,14 @@ struct TimeSeries {
                                                  double interval);
 [[nodiscard]] std::string sample_line(const Sample& s);
 [[nodiscard]] std::string point_line(const ClusterPoint& p);
+/// Trailer written when a stream completes ({"type":"end",...}); readers
+/// ignore it except `ipm_parse --follow`, which uses it to terminate.
+[[nodiscard]] std::string end_line(std::uint64_t intervals);
+
+/// Parse one JSONL record into `ts` (sample/point appended; header fills
+/// command/interval; "end" returns false = stream complete; unknown types
+/// are ignored).  Incremental form of read_timeseries_file for --follow.
+bool parse_timeseries_line(const std::string& line, TimeSeries& ts);
 
 /// Estimated flops of ONE call with this event name and per-call operand
 /// bytes (the paper's §III-D byte counts: m*n*esize for BLAS-3, n*esize

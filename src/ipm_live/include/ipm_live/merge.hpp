@@ -1,0 +1,109 @@
+// Virtual-time merge of per-rank delta samples into ClusterPoints.
+//
+// JobMerger is the aggregation core shared by the in-process collector
+// thread (one job) and the out-of-process `ipm_aggd` daemon (many jobs,
+// one merger each plus a fleet-wide one).  It is pure bookkeeping: the
+// caller feeds samples and asks which intervals are closed; all IO (JSONL
+// lines, exposition files) stays with the caller.
+//
+// Interval k = [k*interval, (k+1)*interval) closes once every *live* rank
+// (attached, not finalized) has published a sample whose t1 reaches past
+// the interval's end — the same watermark rule the PR-4 collector used, so
+// points never change after emission even though ranks progress at
+// different virtual speeds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ipm_live/live.hpp"
+
+namespace ipm::live {
+
+/// Cumulative totals over every emitted interval of one merged stream
+/// (the Prometheus counter sources).
+struct MergeTotals {
+  double mpi_s = 0.0, cuda_s = 0.0, gpu_s = 0.0, idle_s = 0.0;
+  double blas_s = 0.0, fft_s = 0.0;
+  double flops = 0.0;      ///< operand-size model estimate
+  double dev_flops = 0.0;  ///< modelled device counters (ground truth)
+  double dev_bytes = 0.0;
+  std::uint64_t mpi_bytes = 0, cuda_bytes = 0;
+  std::uint64_t events = 0, samples = 0;
+};
+
+class JobMerger {
+ public:
+  explicit JobMerger(double interval) : interval_(interval) {}
+
+  [[nodiscard]] double interval() const noexcept { return interval_; }
+
+  /// Fold one rank sample into its interval bucket and advance the rank's
+  /// watermark.
+  void add_sample(const Sample& s);
+
+  /// `rank` finished: it no longer holds back interval emission.
+  void finalize_rank(int rank);
+
+  /// Append every closed interval to `out`: closed means covered by all of
+  /// `live_ranks` (ranks attached and not finalized; a rank that has not
+  /// published yet pins the watermark at 0).  An empty `live_ranks` means
+  /// nothing can grow anymore — equivalent to emit_all().
+  void emit_due(const std::vector<int>& live_ranks, int ranks_live,
+                std::vector<ClusterPoint>& out);
+
+  /// Append everything still pending (shutdown; skips long idle gaps).
+  void emit_all(int ranks_live, std::vector<ClusterPoint>& out);
+
+  [[nodiscard]] const MergeTotals& totals() const noexcept { return totals_; }
+  /// Most recently emitted point (gauge source; zero-value before the first).
+  [[nodiscard]] const ClusterPoint& last() const noexcept { return last_; }
+  [[nodiscard]] std::uint64_t intervals_emitted() const noexcept {
+    return intervals_emitted_;
+  }
+  /// Virtual time covered by emitted intervals.
+  [[nodiscard]] double emitted_virtual_seconds() const noexcept {
+    return static_cast<double>(next_emit_) * interval_;
+  }
+
+ private:
+  struct Bucket {
+    std::set<int> ranks;
+    std::uint64_t samples = 0;
+    std::uint64_t devents = 0;
+    double mpi_s = 0.0, cuda_s = 0.0, gpu_s = 0.0, idle_s = 0.0;
+    double blas_s = 0.0, fft_s = 0.0;
+    std::uint64_t mpi_bytes = 0, cuda_bytes = 0;
+    double flops = 0.0;
+    double dev_flops = 0.0, dev_bytes = 0.0;
+    std::map<std::string, double> region_flops;
+  };
+
+  ClusterPoint emit_point(std::uint64_t k, int ranks_live);
+
+  double interval_;
+  std::map<std::uint64_t, Bucket> buckets_;
+  std::map<int, double> watermark_;  ///< rank -> latest published t1
+  std::uint64_t next_emit_ = 0;
+  std::uint64_t intervals_emitted_ = 0;
+  MergeTotals totals_;
+  ClusterPoint last_;
+};
+
+/// One metric of the Prometheus exposition for a merged stream.  items are
+/// returned in a fixed order with fixed names, so a multi-job writer can
+/// group the per-job samples of metric i under one HELP/TYPE block.
+struct PromItem {
+  const char* name;
+  const char* help;
+  bool counter;  ///< false = gauge
+  double value;
+};
+
+[[nodiscard]] std::vector<PromItem> prom_items(const JobMerger& m,
+                                               int ranks_live, bool up);
+
+}  // namespace ipm::live

@@ -1,0 +1,52 @@
+// Minimal POSIX socket helpers shared by the SocketSink client and the
+// ipm_aggd daemon: aggregator address parsing ("unix:/path" or
+// "tcp:host:port") and non-blocking listen/connect/IO wrappers.  No
+// protocol knowledge lives here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ipm::live::net {
+
+struct Addr {
+  enum class Kind { kInvalid, kUnix, kTcp } kind = Kind::kInvalid;
+  std::string path;  ///< unix socket path
+  std::string host;  ///< tcp host (numeric or "localhost")
+  int port = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return kind != Kind::kInvalid; }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parse an IPM_AGG_ADDR value.  Accepted forms: "unix:/path/to.sock",
+/// "tcp:host:port", "host:port", or a bare filesystem path (unix).
+[[nodiscard]] Addr parse_addr(const std::string& spec);
+
+/// Create a listening socket (non-blocking, CLOEXEC).  Unix paths are
+/// unlinked first so restarts rebind cleanly.  Returns -1 and fills `err`
+/// on failure.
+int listen_fd(const Addr& addr, std::string& err);
+
+/// Accept one pending connection on a listening socket (non-blocking,
+/// CLOEXEC).  Returns -1 when none is waiting.
+int accept_fd(int listener);
+
+/// Start a non-blocking connect.  Returns the fd (connection may still be
+/// in progress — poll for writability), or -1 on immediate failure.
+int connect_fd(const Addr& addr);
+
+/// True when the in-progress connect on `fd` completed successfully.
+bool connect_finished(int fd);
+
+/// write() the whole buffer as far as the socket allows.  Returns bytes
+/// written (possibly 0 on EAGAIN), or -1 on a fatal socket error.
+long write_some(int fd, const char* data, std::size_t n);
+
+/// read() into `buf`.  Returns bytes read, 0 on EAGAIN (no data), or -1 on
+/// EOF / fatal error.
+long read_some(int fd, char* buf, std::size_t n);
+
+void close_fd(int fd) noexcept;
+
+}  // namespace ipm::live::net

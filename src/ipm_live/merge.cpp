@@ -1,0 +1,202 @@
+// JobMerger: the virtual-time interval merge shared by the in-process
+// collector and the ipm_aggd daemon (see merge.hpp).
+#include "ipm_live/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ipm/key.hpp"
+#include "simcommon/str.hpp"
+
+namespace ipm::live {
+
+namespace {
+
+struct Classified {
+  bool mpi, cuda, gpu, idle, blas, fft;
+};
+
+Classified classify(const std::string& name) {
+  return Classified{
+      name_in_family(name, "MPI"),  name_in_family(name, "CUDA"),
+      name_in_family(name, "GPU"),  name_in_family(name, "IDLE"),
+      name_in_family(name, "CUBLAS"), name_in_family(name, "CUFFT"),
+  };
+}
+
+}  // namespace
+
+void JobMerger::add_sample(const Sample& s) {
+  const std::uint64_t k =
+      static_cast<std::uint64_t>(std::floor(std::max(0.0, s.t1) / interval_));
+  Bucket& b = buckets_[k];
+  b.ranks.insert(s.rank);
+  b.samples += 1;
+  b.dev_flops += s.ddev_flops;
+  b.dev_bytes += s.ddev_bytes;
+  for (const KeyDelta& d : s.deltas) {
+    const std::string& name = d.name_str.empty() ? name_of(d.name) : d.name_str;
+    const Classified c = classify(name);
+    b.devents += d.dcount;
+    if (c.mpi) {
+      b.mpi_s += d.dtsum;
+      b.mpi_bytes += d.dbytes;
+    } else if (c.gpu) {
+      b.gpu_s += d.dtsum;
+    } else if (c.idle) {
+      b.idle_s += d.dtsum;
+    } else if (c.blas) {
+      b.blas_s += d.dtsum;
+    } else if (c.fft) {
+      b.fft_s += d.dtsum;
+    } else if (c.cuda) {
+      b.cuda_s += d.dtsum;
+      b.cuda_bytes += d.dbytes;
+    }
+    if (d.dflops != 0.0) {
+      b.flops += d.dflops;
+      const std::string region = d.region < s.regions.size()
+                                     ? s.regions[d.region]
+                                     : simx::strprintf("region%u", d.region);
+      b.region_flops[region] += d.dflops;
+    }
+  }
+  auto [it, inserted] = watermark_.try_emplace(s.rank, s.t1);
+  if (!inserted && s.t1 > it->second) it->second = s.t1;
+}
+
+void JobMerger::finalize_rank(int rank) { watermark_.erase(rank); }
+
+ClusterPoint JobMerger::emit_point(std::uint64_t k, int ranks_live) {
+  ClusterPoint p;
+  p.k = k;
+  p.t0 = static_cast<double>(k) * interval_;
+  p.t1 = static_cast<double>(k + 1) * interval_;
+  p.ranks_live = ranks_live;
+  const auto it = buckets_.find(k);
+  if (it != buckets_.end()) {
+    const Bucket& b = it->second;
+    p.ranks = static_cast<int>(b.ranks.size());
+    p.samples = b.samples;
+    p.devents = b.devents;
+    p.mpi_s = b.mpi_s;
+    p.cuda_s = b.cuda_s;
+    p.gpu_s = b.gpu_s;
+    p.idle_s = b.idle_s;
+    p.blas_s = b.blas_s;
+    p.fft_s = b.fft_s;
+    p.mpi_bytes = b.mpi_bytes;
+    p.cuda_bytes = b.cuda_bytes;
+    p.flops = b.flops;
+    p.dev_flops = b.dev_flops;
+    p.dev_bytes = b.dev_bytes;
+    p.region_flops.assign(b.region_flops.begin(), b.region_flops.end());
+    buckets_.erase(it);
+  }
+  totals_.mpi_s += p.mpi_s;
+  totals_.cuda_s += p.cuda_s;
+  totals_.gpu_s += p.gpu_s;
+  totals_.idle_s += p.idle_s;
+  totals_.blas_s += p.blas_s;
+  totals_.fft_s += p.fft_s;
+  totals_.flops += p.flops;
+  totals_.dev_flops += p.dev_flops;
+  totals_.dev_bytes += p.dev_bytes;
+  totals_.mpi_bytes += p.mpi_bytes;
+  totals_.cuda_bytes += p.cuda_bytes;
+  totals_.events += p.devents;
+  totals_.samples += p.samples;
+  last_ = p;
+  intervals_emitted_ += 1;
+  return p;
+}
+
+void JobMerger::emit_due(const std::vector<int>& live_ranks, int ranks_live,
+                         std::vector<ClusterPoint>& out) {
+  if (live_ranks.empty()) {  // nothing can grow anymore
+    emit_all(ranks_live, out);
+    return;
+  }
+  double min_wm = std::numeric_limits<double>::infinity();
+  for (const int rank : live_ranks) {
+    const auto it = watermark_.find(rank);
+    min_wm = std::min(min_wm, it == watermark_.end() ? 0.0 : it->second);
+  }
+  while (static_cast<double>(next_emit_ + 1) * interval_ <= min_wm) {
+    out.push_back(emit_point(next_emit_, ranks_live));
+    next_emit_ += 1;
+  }
+}
+
+void JobMerger::emit_all(int ranks_live, std::vector<ClusterPoint>& out) {
+  while (!buckets_.empty()) {
+    // Skip over fully idle gaps at shutdown rather than emitting a point
+    // per empty interval of a long tail.
+    if (buckets_.begin()->first > next_emit_ &&
+        buckets_.begin()->first > next_emit_ + 16) {
+      next_emit_ = buckets_.begin()->first;
+    }
+    out.push_back(emit_point(next_emit_, ranks_live));
+    next_emit_ += 1;
+  }
+}
+
+std::vector<PromItem> prom_items(const JobMerger& m, int ranks_live, bool up) {
+  const MergeTotals& t = m.totals();
+  const ClusterPoint& last = m.last();
+  // Last-interval gauges: rates over the interval, busy ratios over the
+  // available rank-seconds (ranks_live * interval).
+  const double span = last.span() > 0.0 ? last.span() : m.interval();
+  const double avail = span * std::max(1, last.ranks_live);
+  return {
+      {"ipm_up", "1 while the monitored job is running.", false, up ? 1.0 : 0.0},
+      {"ipm_ranks", "Ranks attached to the collector.", false,
+       static_cast<double>(ranks_live)},
+      {"ipm_virtual_seconds", "Virtual time covered by emitted intervals.",
+       false, m.emitted_virtual_seconds()},
+      {"ipm_snapshot_intervals_total", "Cluster points emitted.", true,
+       static_cast<double>(m.intervals_emitted())},
+      {"ipm_snapshot_samples_total", "Per-rank delta samples merged.", true,
+       static_cast<double>(t.samples)},
+      {"ipm_events_total", "Monitored calls aggregated.", true,
+       static_cast<double>(t.events)},
+      {"ipm_mpi_seconds_total", "Rank-seconds spent in MPI.", true, t.mpi_s},
+      {"ipm_cuda_seconds_total", "Rank-seconds spent in CUDA API calls.", true,
+       t.cuda_s},
+      {"ipm_gpu_seconds_total", "Device-seconds of kernel execution.", true,
+       t.gpu_s},
+      {"ipm_host_idle_seconds_total",
+       "Rank-seconds of implicit host blocking (@CUDA_HOST_IDLE).", true,
+       t.idle_s},
+      {"ipm_cublas_seconds_total", "Rank-seconds spent in CUBLAS.", true,
+       t.blas_s},
+      {"ipm_cufft_seconds_total", "Rank-seconds spent in CUFFT.", true, t.fft_s},
+      {"ipm_mpi_bytes_total", "Bytes moved by MPI calls.", true,
+       static_cast<double>(t.mpi_bytes)},
+      {"ipm_cuda_bytes_total", "Bytes moved by CUDA memory calls.", true,
+       static_cast<double>(t.cuda_bytes)},
+      {"ipm_flops_total", "Estimated floating-point operations.", true, t.flops},
+      {"ipm_device_flops_total",
+       "Device-counter floating-point operations (modelled ground truth).",
+       true, t.dev_flops},
+      {"ipm_device_bytes_total", "Device-counter DRAM traffic (modelled).",
+       true, t.dev_bytes},
+      {"ipm_gpu_busy_ratio", "GPU busy fraction over the last interval.", false,
+       last.gpu_s / avail},
+      {"ipm_host_idle_ratio", "Host-idle fraction over the last interval.",
+       false, last.idle_s / avail},
+      {"ipm_mpi_ratio", "MPI fraction over the last interval.", false,
+       last.mpi_s / avail},
+      {"ipm_mpi_bytes_per_second",
+       "MPI throughput over the last interval (virtual time).", false,
+       static_cast<double>(last.mpi_bytes) / span},
+      {"ipm_cuda_bytes_per_second",
+       "CUDA memcpy throughput over the last interval (virtual time).", false,
+       static_cast<double>(last.cuda_bytes) / span},
+      {"ipm_gflops", "Estimated GFLOP rate over the last interval.", false,
+       last.flops / span * 1e-9},
+  };
+}
+
+}  // namespace ipm::live

@@ -1,0 +1,206 @@
+#include "ipm_live/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "simcommon/str.hpp"
+
+namespace ipm::live::net {
+
+namespace {
+
+int make_socket(int domain) {
+  const int fd = ::socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  return fd;
+}
+
+bool fill_sockaddr_un(const Addr& addr, sockaddr_un& sa) {
+  std::memset(&sa, 0, sizeof sa);
+  sa.sun_family = AF_UNIX;
+  if (addr.path.size() + 1 > sizeof sa.sun_path) return false;
+  std::memcpy(sa.sun_path, addr.path.c_str(), addr.path.size() + 1);
+  return true;
+}
+
+bool fill_sockaddr_in(const Addr& addr, sockaddr_in& sa) {
+  std::memset(&sa, 0, sizeof sa);
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(addr.port));
+  std::string host = addr.host;
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  return ::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) == 1;
+}
+
+}  // namespace
+
+std::string Addr::str() const {
+  switch (kind) {
+    case Kind::kUnix: return "unix:" + path;
+    case Kind::kTcp: return simx::strprintf("tcp:%s:%d", host.c_str(), port);
+    case Kind::kInvalid: break;
+  }
+  return "<invalid>";
+}
+
+Addr parse_addr(const std::string& spec) {
+  Addr a;
+  if (spec.empty()) return a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.kind = Addr::Kind::kUnix;
+    a.path = spec.substr(5);
+    if (a.path.empty()) a.kind = Addr::Kind::kInvalid;
+    return a;
+  }
+  std::string rest = spec;
+  bool tcp_prefixed = false;
+  if (rest.rfind("tcp:", 0) == 0) {
+    rest = rest.substr(4);
+    tcp_prefixed = true;
+  }
+  const std::size_t colon = rest.rfind(':');
+  if (colon != std::string::npos && colon + 1 < rest.size()) {
+    char* end = nullptr;
+    const long port = std::strtol(rest.c_str() + colon + 1, &end, 10);
+    if (*end == '\0' && port > 0 && port < 65536) {
+      a.kind = Addr::Kind::kTcp;
+      a.host = rest.substr(0, colon);
+      a.port = static_cast<int>(port);
+      return a;
+    }
+  }
+  if (tcp_prefixed) return a;  // "tcp:" without a valid port is invalid
+  // Bare path: treat as a unix socket.
+  a.kind = Addr::Kind::kUnix;
+  a.path = spec;
+  return a;
+}
+
+int listen_fd(const Addr& addr, std::string& err) {
+  if (addr.kind == Addr::Kind::kUnix) {
+    const int fd = make_socket(AF_UNIX);
+    if (fd < 0) {
+      err = std::strerror(errno);
+      return -1;
+    }
+    ::unlink(addr.path.c_str());
+    sockaddr_un sa{};
+    if (!fill_sockaddr_un(addr, sa)) {
+      err = "unix socket path too long";
+      ::close(fd);
+      return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 ||
+        ::listen(fd, 64) != 0) {
+      err = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (addr.kind == Addr::Kind::kTcp) {
+    const int fd = make_socket(AF_INET);
+    if (fd < 0) {
+      err = std::strerror(errno);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa{};
+    if (!fill_sockaddr_in(addr, sa)) {
+      err = "cannot resolve tcp host '" + addr.host + "' (numeric IPv4 only)";
+      ::close(fd);
+      return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 ||
+        ::listen(fd, 64) != 0) {
+      err = std::strerror(errno);
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  err = "invalid aggregator address";
+  return -1;
+}
+
+int accept_fd(int listener) {
+  return ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+}
+
+int connect_fd(const Addr& addr) {
+  if (addr.kind == Addr::Kind::kUnix) {
+    const int fd = make_socket(AF_UNIX);
+    if (fd < 0) return -1;
+    sockaddr_un sa{};
+    if (!fill_sockaddr_un(addr, sa)) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (addr.kind == Addr::Kind::kTcp) {
+    const int fd = make_socket(AF_INET);
+    if (fd < 0) return -1;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in sa{};
+    if (!fill_sockaddr_in(addr, sa)) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  return -1;
+}
+
+bool connect_finished(int fd) {
+  int soerr = 0;
+  socklen_t len = sizeof soerr;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0) return false;
+  return soerr == 0;
+}
+
+long write_some(int fd, const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) break;
+    return -1;
+  }
+  return static_cast<long>(done);
+}
+
+long read_some(int fd, char* buf, std::size_t n) {
+  const ssize_t r = ::recv(fd, buf, n, 0);
+  if (r > 0) return static_cast<long>(r);
+  if (r == 0) return -1;  // orderly EOF
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return 0;
+  return -1;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace ipm::live::net

@@ -32,7 +32,17 @@ double next_due(double now, double interval) noexcept {
   return (std::floor(now / interval) + 1.0) * interval;
 }
 
+std::atomic<GpuProbe> g_gpu_probe{nullptr};
+
 }  // namespace
+
+void set_gpu_probe(GpuProbe probe) noexcept {
+  g_gpu_probe.store(probe, std::memory_order_relaxed);
+}
+
+GpuProbe gpu_probe() noexcept {
+  return g_gpu_probe.load(std::memory_order_relaxed);
+}
 
 SampleChannel::SampleChannel(unsigned log2_slots) {
   if (log2_slots < 2) log2_slots = 2;
@@ -67,7 +77,8 @@ LivePublisher::LivePublisher(Monitor& m, int rank)
 void LivePublisher::capture(bool final_flush) noexcept {
   Monitor& m = *mon_;
   const double t1 = m.clock_->now();
-  m.live_next_due_ = next_due(t1, m.cfg_.snapshot_interval);
+  const double grid = m.cfg_.snapshot_interval * static_cast<double>(backoff_);
+  m.live_next_due_ = next_due(t1, grid);
   // Fold the current per-(name, region, select) totals in slot-index order
   // — the exact merge Monitor::snapshot() performs, so the cumulative fold
   // of every published delta lands on the finalize profile bit-exactly.
@@ -80,12 +91,26 @@ void LivePublisher::capture(bool final_flush) noexcept {
     c.flops += flops_per_call(name_of(key.name), key.bytes) *
                static_cast<double>(st.count);
   });
+  // Device-counter ground truth (cumulative; deltas under the same
+  // conserved-fold discipline as tsum, advancing only on publish).
+  double dev_f = dev_flops_;
+  double dev_b = dev_bytes_;
+  if (const GpuProbe probe = gpu_probe()) {
+    double f = 0.0;
+    double b = 0.0;
+    if (probe(f, b)) {
+      dev_f = f;
+      dev_b = b;
+    }
+  }
   Sample s;
   s.rank = rank_;
   s.seq = seq_;
   s.t0 = prev_t_;
   s.t1 = t1;
   s.final_flush = final_flush;
+  s.ddev_flops = conserved_delta(dev_flops_, dev_f);
+  s.ddev_bytes = conserved_delta(dev_bytes_, dev_b);
   s.regions = m.regions_;
   for (const auto& [k, c] : cur) {
     const Mirror& mir = mirrors_[k];
@@ -100,7 +125,10 @@ void LivePublisher::capture(bool final_flush) noexcept {
     d.dflops = c.flops - mir.flops;
     s.deltas.push_back(std::move(d));
   }
-  if (s.deltas.empty()) return;  // nothing happened since the last sample
+  if (s.deltas.empty() && s.ddev_flops == 0.0 && s.ddev_bytes == 0.0) {
+    adapt_cadence(m, t1, /*published=*/true);
+    return;  // nothing happened since the last sample
+  }
   bool published;
   if (final_flush) {
     // The finalize flush must never lose data: overflow past the channel
@@ -115,6 +143,8 @@ void LivePublisher::capture(bool final_flush) noexcept {
     // Advance the consumer mirror: by construction mir.tsum + dtsum rounds
     // to exactly c.tsum, so a folding consumer now holds precisely `cur`.
     mirrors_ = std::move(cur);
+    dev_flops_ = dev_f;
+    dev_bytes_ = dev_b;
     prev_t_ = t1;
     seq_ += 1;
     samples_ += 1;
@@ -123,6 +153,28 @@ void LivePublisher::capture(bool final_flush) noexcept {
     // coalesces this window, so only resolution is lost, never data.
     drops_ += 1;
   }
+  adapt_cadence(m, t1, published);
+}
+
+/// Adaptive cadence: widen the snapshot grid x2 (up to x64) while the
+/// channel sits above the 3/4 high-water mark (or a publish was refused),
+/// halve it back once occupancy recovers below 1/4.  Only the *grid*
+/// changes — drops are still counted and every published delta still folds
+/// bit-exactly, so conservation is untouched.
+void LivePublisher::adapt_cadence(Monitor& m, double now, bool published) noexcept {
+  if (!m.cfg_.snapshot_adaptive) return;
+  const std::size_t occ = channel_.size();
+  const std::size_t cap = channel_.capacity();
+  std::uint32_t next = backoff_;
+  if (!published || occ * 4 >= cap * 3) {
+    next = backoff_ < 64 ? backoff_ * 2 : 64;
+  } else if (occ * 4 <= cap) {
+    next = backoff_ > 1 ? backoff_ / 2 : 1;
+  }
+  if (next == backoff_) return;
+  backoff_ = next;
+  m.live_next_due_ =
+      next_due(now, m.cfg_.snapshot_interval * static_cast<double>(backoff_));
 }
 
 void LivePublisher::do_attach(Monitor& m) {
@@ -170,6 +222,10 @@ void LivePublisher::do_abandon(Monitor& m) noexcept {
   delete pub;
 }
 
+std::uint32_t LivePublisher::do_backoff(Monitor& m) noexcept {
+  return m.live_pub_ != nullptr ? m.live_pub_->backoff_ : 1;
+}
+
 std::vector<Sample> LivePublisher::do_drain(Monitor& m) {
   std::vector<Sample> out;
   LivePublisher* pub = m.live_pub_;
@@ -187,5 +243,6 @@ void final_flush(Monitor& m) noexcept { LivePublisher::do_capture(m, true); }
 void detach_rank(Monitor& m, RankProfile& p) { LivePublisher::do_detach(m, p); }
 void abandon_rank(Monitor& m) noexcept { LivePublisher::do_abandon(m); }
 std::vector<Sample> drain(Monitor& m) { return LivePublisher::do_drain(m); }
+std::uint32_t backoff_factor(Monitor& m) noexcept { return LivePublisher::do_backoff(m); }
 
 }  // namespace ipm::live

@@ -186,9 +186,12 @@ std::string timeseries_header_line(const std::string& command, double interval) 
 std::string sample_line(const Sample& s) {
   std::string out = simx::strprintf(
       "{\"type\":\"sample\",\"rank\":%d,\"seq\":%llu,\"t0\":%.17g,\"t1\":%.17g,"
-      "\"final\":%d,\"regions\":[",
+      "\"final\":%d",
       s.rank, static_cast<unsigned long long>(s.seq), s.t0, s.t1,
       s.final_flush ? 1 : 0);
+  if (s.ddev_flops != 0.0) out += simx::strprintf(",\"gf\":%.17g", s.ddev_flops);
+  if (s.ddev_bytes != 0.0) out += simx::strprintf(",\"gb\":%.17g", s.ddev_bytes);
+  out += ",\"regions\":[";
   for (std::size_t i = 0; i < s.regions.size(); ++i) {
     if (i != 0) out += ',';
     out += '"';
@@ -217,12 +220,15 @@ std::string point_line(const ClusterPoint& p) {
       "\"ranks_live\":%d,\"samples\":%llu,\"devents\":%llu,"
       "\"mpi_s\":%.17g,\"cuda_s\":%.17g,\"gpu_s\":%.17g,\"idle_s\":%.17g,"
       "\"blas_s\":%.17g,\"fft_s\":%.17g,\"mpi_bytes\":%llu,\"cuda_bytes\":%llu,"
-      "\"flops\":%.17g,\"regions\":[",
+      "\"flops\":%.17g",
       static_cast<unsigned long long>(p.k), p.t0, p.t1, p.ranks, p.ranks_live,
       static_cast<unsigned long long>(p.samples),
       static_cast<unsigned long long>(p.devents), p.mpi_s, p.cuda_s, p.gpu_s,
       p.idle_s, p.blas_s, p.fft_s, static_cast<unsigned long long>(p.mpi_bytes),
       static_cast<unsigned long long>(p.cuda_bytes), p.flops);
+  if (p.dev_flops != 0.0) out += simx::strprintf(",\"devflops\":%.17g", p.dev_flops);
+  if (p.dev_bytes != 0.0) out += simx::strprintf(",\"devbytes\":%.17g", p.dev_bytes);
+  out += ",\"regions\":[";
   for (std::size_t i = 0; i < p.region_flops.size(); ++i) {
     if (i != 0) out += ',';
     out += simx::strprintf("{\"name\":\"%s\",\"flops\":%.17g}",
@@ -231,6 +237,76 @@ std::string point_line(const ClusterPoint& p) {
   }
   out += "]}";
   return out;
+}
+
+std::string end_line(std::uint64_t intervals) {
+  return simx::strprintf("{\"type\":\"end\",\"intervals\":%llu}",
+                         static_cast<unsigned long long>(intervals));
+}
+
+bool parse_timeseries_line(const std::string& line, TimeSeries& ts) {
+  if (line.empty()) return true;
+  if (!object_field(line, "ipm_timeseries").empty()) {
+    ts.command = str_field(line, "command");
+    ts.interval = num_field(line, "interval");
+    return true;
+  }
+  const std::string_view type = object_field(line, "type");
+  if (type == "\"sample\"") {
+    Sample s;
+    s.rank = static_cast<int>(int_field(line, "rank"));
+    s.seq = int_field(line, "seq");
+    s.t0 = num_field(line, "t0");
+    s.t1 = num_field(line, "t1");
+    s.final_flush = int_field(line, "final") != 0;
+    s.ddev_flops = num_field(line, "gf");
+    s.ddev_bytes = num_field(line, "gb");
+    for (const std::string_view r : array_items(object_field(line, "regions"))) {
+      std::string_view v = r;
+      if (v.size() >= 2 && v.front() == '"') v = v.substr(1, v.size() - 2);
+      s.regions.push_back(json_unescape(v));
+    }
+    for (const std::string_view dv : array_items(object_field(line, "deltas"))) {
+      KeyDelta d;
+      d.name_str = str_field(dv, "n");
+      d.region = static_cast<std::uint32_t>(int_field(dv, "r"));
+      d.select = static_cast<std::int32_t>(
+          std::strtol(std::string(object_field(dv, "s")).c_str(), nullptr, 10));
+      d.dcount = int_field(dv, "c");
+      d.dbytes = int_field(dv, "b");
+      d.dtsum = num_field(dv, "t");
+      d.dflops = num_field(dv, "f");
+      s.deltas.push_back(std::move(d));
+    }
+    ts.samples.push_back(std::move(s));
+  } else if (type == "\"point\"") {
+    ClusterPoint p;
+    p.k = int_field(line, "k");
+    p.t0 = num_field(line, "t0");
+    p.t1 = num_field(line, "t1");
+    p.ranks = static_cast<int>(int_field(line, "ranks"));
+    p.ranks_live = static_cast<int>(int_field(line, "ranks_live"));
+    p.samples = int_field(line, "samples");
+    p.devents = int_field(line, "devents");
+    p.mpi_s = num_field(line, "mpi_s");
+    p.cuda_s = num_field(line, "cuda_s");
+    p.gpu_s = num_field(line, "gpu_s");
+    p.idle_s = num_field(line, "idle_s");
+    p.blas_s = num_field(line, "blas_s");
+    p.fft_s = num_field(line, "fft_s");
+    p.mpi_bytes = int_field(line, "mpi_bytes");
+    p.cuda_bytes = int_field(line, "cuda_bytes");
+    p.flops = num_field(line, "flops");
+    p.dev_flops = num_field(line, "devflops");
+    p.dev_bytes = num_field(line, "devbytes");
+    for (const std::string_view rv : array_items(object_field(line, "regions"))) {
+      p.region_flops.emplace_back(str_field(rv, "name"), num_field(rv, "flops"));
+    }
+    ts.points.push_back(std::move(p));
+  } else if (type == "\"end\"") {
+    return false;
+  }
+  return true;
 }
 
 TimeSeries read_timeseries_file(const std::string& path) {
@@ -244,56 +320,7 @@ TimeSeries read_timeseries_file(const std::string& path) {
   ts.command = str_field(line, "command");
   ts.interval = num_field(line, "interval");
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::string_view type = object_field(line, "type");
-    if (type == "\"sample\"") {
-      Sample s;
-      s.rank = static_cast<int>(int_field(line, "rank"));
-      s.seq = int_field(line, "seq");
-      s.t0 = num_field(line, "t0");
-      s.t1 = num_field(line, "t1");
-      s.final_flush = int_field(line, "final") != 0;
-      for (const std::string_view r : array_items(object_field(line, "regions"))) {
-        std::string_view v = r;
-        if (v.size() >= 2 && v.front() == '"') v = v.substr(1, v.size() - 2);
-        s.regions.push_back(json_unescape(v));
-      }
-      for (const std::string_view dv : array_items(object_field(line, "deltas"))) {
-        KeyDelta d;
-        d.name_str = str_field(dv, "n");
-        d.region = static_cast<std::uint32_t>(int_field(dv, "r"));
-        d.select = static_cast<std::int32_t>(
-            std::strtol(std::string(object_field(dv, "s")).c_str(), nullptr, 10));
-        d.dcount = int_field(dv, "c");
-        d.dbytes = int_field(dv, "b");
-        d.dtsum = num_field(dv, "t");
-        d.dflops = num_field(dv, "f");
-        s.deltas.push_back(std::move(d));
-      }
-      ts.samples.push_back(std::move(s));
-    } else if (type == "\"point\"") {
-      ClusterPoint p;
-      p.k = int_field(line, "k");
-      p.t0 = num_field(line, "t0");
-      p.t1 = num_field(line, "t1");
-      p.ranks = static_cast<int>(int_field(line, "ranks"));
-      p.ranks_live = static_cast<int>(int_field(line, "ranks_live"));
-      p.samples = int_field(line, "samples");
-      p.devents = int_field(line, "devents");
-      p.mpi_s = num_field(line, "mpi_s");
-      p.cuda_s = num_field(line, "cuda_s");
-      p.gpu_s = num_field(line, "gpu_s");
-      p.idle_s = num_field(line, "idle_s");
-      p.blas_s = num_field(line, "blas_s");
-      p.fft_s = num_field(line, "fft_s");
-      p.mpi_bytes = int_field(line, "mpi_bytes");
-      p.cuda_bytes = int_field(line, "cuda_bytes");
-      p.flops = num_field(line, "flops");
-      for (const std::string_view rv : array_items(object_field(line, "regions"))) {
-        p.region_flops.emplace_back(str_field(rv, "name"), num_field(rv, "flops"));
-      }
-      ts.points.push_back(std::move(p));
-    }
+    if (!parse_timeseries_line(line, ts)) break;
   }
   return ts;
 }

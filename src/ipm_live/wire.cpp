@@ -1,0 +1,162 @@
+// Frame codec for the ipm_agg wire protocol (see wire.hpp).
+#include "ipm_live/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "simcommon/str.hpp"
+
+namespace ipm::live::wire {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint64_t get_le(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool valid_type(std::uint8_t t) noexcept {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kSample:
+    case FrameType::kRankFin:
+    case FrameType::kJobEnd:
+    case FrameType::kWelcome:
+    case FrameType::kAck:
+    case FrameType::kJobEndAck:
+      return true;
+  }
+  return false;
+}
+
+std::string encode(const Frame& f) {
+  if (f.job.size() > kMaxJobLen) {
+    throw std::invalid_argument("ipm_agg: job id exceeds protocol bound");
+  }
+  const std::size_t len = kHeaderBytes + f.job.size() + f.payload.size();
+  if (len > kMaxFrameLen) {
+    throw std::invalid_argument("ipm_agg: frame exceeds protocol bound");
+  }
+  std::string out;
+  out.reserve(4 + len);
+  put_u32(out, static_cast<std::uint32_t>(len));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(f.type));
+  put_u16(out, static_cast<std::uint16_t>(f.job.size()));
+  put_u32(out, f.rank);
+  put_u64(out, f.epoch);
+  out += f.job;
+  out += f.payload;
+  return out;
+}
+
+void Decoder::feed(const char* data, std::size_t n) {
+  if (!error_.empty()) return;
+  // Compact consumed bytes before growing (keeps the buffer ~frame-sized).
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+bool Decoder::next(Frame& out) {
+  if (!error_.empty()) return false;
+  if (buf_.size() - pos_ < 4) return false;
+  const std::uint64_t len = get_le(buf_.data() + pos_, 4);
+  if (len < kHeaderBytes || len > kMaxFrameLen) {
+    error_ = simx::strprintf("frame length %llu out of range",
+                             static_cast<unsigned long long>(len));
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + len) return false;
+  const char* h = buf_.data() + pos_ + 4;
+  const auto version = static_cast<std::uint8_t>(h[0]);
+  const auto type = static_cast<std::uint8_t>(h[1]);
+  const auto job_len = static_cast<std::size_t>(get_le(h + 2, 2));
+  if (version != kWireVersion) {
+    error_ = simx::strprintf("unknown protocol version %u", version);
+    return false;
+  }
+  if (!valid_type(type)) {
+    error_ = simx::strprintf("unknown frame type 0x%02x", type);
+    return false;
+  }
+  if (job_len > kMaxJobLen || kHeaderBytes + job_len > len) {
+    error_ = "job id overruns frame";
+    return false;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.rank = static_cast<std::uint32_t>(get_le(h + 4, 4));
+  out.epoch = get_le(h + 8, 8);
+  out.job.assign(h + kHeaderBytes, job_len);
+  out.payload.assign(h + kHeaderBytes + job_len, len - kHeaderBytes - job_len);
+  pos_ += 4 + len;
+  return true;
+}
+
+std::string hello_payload(const std::string& command, double interval) {
+  std::string cmd;
+  cmd.reserve(command.size());
+  for (const char c : command) {
+    if (c == '"' || c == '\\') cmd.push_back('\\');
+    cmd.push_back(c);
+  }
+  return simx::strprintf("{\"ipm_agg\":1,\"command\":\"%s\",\"interval\":%.17g}",
+                         cmd.c_str(), interval);
+}
+
+std::string welcome_payload(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& epochs) {
+  std::string out = "{\"ranks\":[";
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += simx::strprintf("{\"rank\":%u,\"epoch\":%llu}", epochs[i].first,
+                           static_cast<unsigned long long>(epochs[i].second));
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> parse_welcome(
+    const std::string& payload) {
+  // The payload is machine-generated; a tolerant scan for the two numeric
+  // fields of each object keeps this free of a JSON dependency.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  std::size_t i = 0;
+  while ((i = payload.find("{\"rank\":", i)) != std::string::npos) {
+    const char* p = payload.c_str() + i + 8;
+    char* end = nullptr;
+    const unsigned long rank = std::strtoul(p, &end, 10);
+    const char* e = std::strstr(end, "\"epoch\":");
+    if (e == nullptr) break;
+    const unsigned long long epoch = std::strtoull(e + 8, &end, 10);
+    out.emplace_back(static_cast<std::uint32_t>(rank),
+                     static_cast<std::uint64_t>(epoch));
+    i = static_cast<std::size_t>(end - payload.c_str());
+  }
+  return out;
+}
+
+}  // namespace ipm::live::wire

@@ -1,0 +1,584 @@
+// ipm_aggd end-to-end transport fault matrix (ISSUE 5 satellite): the
+// out-of-process aggregation daemon driven in-process on a thread, against
+// real monitored workloads streaming over a Unix socket and against raw
+// hand-rolled protocol sessions.
+//
+// Every scenario asserts the transport's core invariant — folding the
+// daemon-ingested per-job JSONL reproduces each rank's finalize profile
+// bit-exactly — under the faults the wire can throw at it: daemon absent at
+// client startup, connection killed mid-run (reconnect + epoch resume, no
+// double count), truncated/corrupt frames (rejected, never partially
+// applied), and two concurrent jobs multiplexed into one daemon.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "ipm/monitor.hpp"
+#include "ipm/report.hpp"
+#include "ipm_aggd/aggd.hpp"
+#include "ipm_live/live.hpp"
+#include "ipm_live/net.hpp"
+#include "ipm_live/wire.hpp"
+#include "mpisim/cluster.hpp"
+#include "mpisim/mpi.h"
+#include "simcommon/clock.hpp"
+#include "simcommon/rng.hpp"
+
+namespace {
+
+using ipm::live::wire::Decoder;
+using ipm::live::wire::Frame;
+using ipm::live::wire::FrameType;
+
+using TripleKey = std::tuple<std::string, std::uint32_t, std::int32_t>;
+
+struct Fold {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  double tsum = 0.0;
+};
+
+/// Fold one rank's delta samples at the profile's (name, region, select)
+/// granularity — the consumer side of the conservation invariant.
+std::map<TripleKey, Fold> fold_rank(const std::vector<ipm::live::Sample>& samples,
+                                    int rank) {
+  std::map<TripleKey, Fold> folded;
+  for (const ipm::live::Sample& s : samples) {
+    if (s.rank != rank) continue;
+    for (const ipm::live::KeyDelta& d : s.deltas) {
+      const std::string& name =
+          d.name_str.empty() ? ipm::name_of(d.name) : d.name_str;
+      Fold& f = folded[{name, d.region, d.select}];
+      f.count += d.dcount;
+      f.bytes += d.dbytes;
+      f.tsum += d.dtsum;
+    }
+  }
+  return folded;
+}
+
+/// Every finalize event record must be matched bit-exactly by the fold.
+void expect_conserved(const ipm::RankProfile& p, const std::map<TripleKey, Fold>& fold) {
+  for (const ipm::EventRecord& e : p.events) {
+    const auto it = fold.find({e.name, e.region, e.select});
+    ASSERT_NE(it, fold.end()) << "rank " << p.rank << " " << e.name;
+    EXPECT_EQ(it->second.count, e.count) << e.name;
+    EXPECT_EQ(it->second.bytes, e.bytes) << e.name;
+    EXPECT_EQ(it->second.tsum, e.tsum) << e.name;  // bit-exact, not NEAR
+  }
+  EXPECT_EQ(fold.size(), p.events.size()) << "rank " << p.rank;
+}
+
+/// Daemon-file conservation: fold the per-job JSONL the daemon wrote and
+/// require it to reproduce every rank of the finalize profile bit-exactly.
+void expect_daemon_conserves(const std::string& job_jsonl, const ipm::JobProfile& job) {
+  const ipm::live::TimeSeries ts = ipm::live::read_timeseries_file(job_jsonl);
+  std::uint64_t applied = 0;
+  for (const ipm::RankProfile& r : job.ranks) {
+    expect_conserved(r, fold_rank(ts.samples, r.rank));
+  }
+  applied = ts.samples.size();
+  // No double count across reconnects: the daemon stored exactly the
+  // samples every rank published, each applied once.
+  EXPECT_EQ(applied, job.snapshot_samples());
+  // Per rank the stored stream is strictly seq-ordered (epoch dedup).
+  std::map<int, std::uint64_t> last_seq;
+  for (const ipm::live::Sample& s : ts.samples) {
+    const auto it = last_seq.find(s.rank);
+    if (it != last_seq.end()) EXPECT_GT(s.seq, it->second) << "rank " << s.rank;
+    last_seq[s.rank] = s.seq;
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// In-process daemon on its own thread (aggd is a library for exactly this).
+struct DaemonRunner {
+  explicit DaemonRunner(ipm::aggd::Options opt) : d(std::move(opt)) {}
+
+  bool start() {
+    std::string err;
+    const bool ok = d.start(err);
+    EXPECT_TRUE(ok) << err;
+    if (ok) th = std::thread([this] { d.run(); });
+    return ok;
+  }
+
+  void join() {
+    if (th.joinable()) th.join();
+  }
+
+  ~DaemonRunner() {
+    d.stop();
+    join();
+  }
+
+  ipm::aggd::Daemon d;
+  std::thread th;
+};
+
+std::string test_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --- raw protocol client helpers --------------------------------------------
+
+int connect_block(const std::string& spec) {
+  const ipm::live::net::Addr addr = ipm::live::net::parse_addr(spec);
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    const int fd = ipm::live::net::connect_fd(addr);
+    if (fd >= 0) {
+      for (int i = 0; i < 400; ++i) {
+        if (ipm::live::net::connect_finished(fd)) return fd;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      ipm::live::net::close_fd(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return -1;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const long w =
+        ipm::live::net::write_some(fd, bytes.data() + off, bytes.size() - off);
+    ASSERT_GE(w, 0) << "socket write failed";
+    if (w == 0) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+bool read_frame(int fd, Decoder& dec, Frame& out, double timeout_s = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int>(timeout_s * 1000.0));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (dec.next(out)) return true;
+    char buf[4096];
+    const long r = ipm::live::net::read_some(fd, buf, sizeof buf);
+    if (r > 0) {
+      dec.feed(buf, static_cast<std::size_t>(r));
+    } else if (r < 0) {
+      return dec.next(out);  // peer closed: only buffered frames remain
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  return false;
+}
+
+ipm::live::Sample make_sample(int rank, std::uint64_t seq, double t0, double t1,
+                              const std::string& name, std::uint64_t dcount,
+                              std::uint64_t dbytes, double dtsum) {
+  ipm::live::Sample s;
+  s.rank = rank;
+  s.seq = seq;
+  s.t0 = t0;
+  s.t1 = t1;
+  ipm::live::KeyDelta d;
+  d.name_str = name;
+  d.dcount = dcount;
+  d.dbytes = dbytes;
+  d.dtsum = dtsum;
+  s.deltas.push_back(std::move(d));
+  return s;
+}
+
+std::string frame_bytes(FrameType type, const std::string& job, std::uint32_t rank,
+                        std::uint64_t epoch, const std::string& payload) {
+  Frame f;
+  f.type = type;
+  f.rank = rank;
+  f.epoch = epoch;
+  f.job = job;
+  f.payload = payload;
+  return ipm::live::wire::encode(f);
+}
+
+std::string sample_bytes(const std::string& job, const ipm::live::Sample& s) {
+  // Epoch = seq + 1: the same monotone epoch the SocketSink derives.
+  return frame_bytes(FrameType::kSample, job, static_cast<std::uint32_t>(s.rank),
+                     s.seq + 1, ipm::live::sample_line(s));
+}
+
+// --- fault matrix ------------------------------------------------------------
+
+/// File-tail fallback transport: a finished collector run's JSONL is
+/// ingested by a tail-only daemon, which re-derives the job and conserves
+/// every rank bit-exactly.  The output collides with the tailed file's name
+/// and must be redirected to *_agg_timeseries.jsonl.
+TEST(Aggd, TailFallbackConservesFinishedStream) {
+  simx::reset_default_context();
+  const std::string dir = test_dir("aggd_tail");
+  const std::string ts_path = dir + "/hplmini_timeseries.jsonl";
+  ipm::Config cfg;
+  cfg.snapshot_interval = 0.5;
+  cfg.timeseries_path = ts_path;
+  ipm::job_begin(cfg, "./tail_job");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = 4;
+  mpisim::run_cluster(cluster, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    for (int i = 0; i < 16; ++i) {
+      simx::host_compute(0.07 + 0.003 * static_cast<double>(rank));
+      double x = static_cast<double>(rank);
+      double y = 0;
+      MPI_Allreduce(&x, &y, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+  });
+  const ipm::JobProfile job = ipm::job_end();
+  ASSERT_EQ(job.ranks.size(), 4u);
+  ASSERT_GT(job.snapshot_samples(), 0u);
+
+  ipm::aggd::Options opt;
+  opt.out_dir = dir;
+  opt.tails = {ts_path};
+  opt.fleet_interval = 0.5;
+  ipm::aggd::Daemon d(opt);
+  std::string err;
+  ASSERT_TRUE(d.start(err)) << err;
+  d.run();  // tail-only mode: returns once the tailed stream ended
+
+  const std::vector<std::string> ids = d.job_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "hplmini");  // basename minus _timeseries.jsonl
+  const std::string out = d.job_timeseries_path("hplmini");
+  EXPECT_EQ(out, dir + "/hplmini_agg_timeseries.jsonl");  // collision dodged
+  expect_daemon_conserves(out, job);
+  // The daemon re-derived cluster points for the job and the fleet.
+  EXPECT_FALSE(ipm::live::read_timeseries_file(out).points.empty());
+  EXPECT_FALSE(
+      ipm::live::read_timeseries_file(d.fleet_timeseries_path()).points.empty());
+  const auto* ranks = d.job_ranks("hplmini");
+  ASSERT_NE(ranks, nullptr);
+  EXPECT_EQ(ranks->size(), 4u);
+  for (const auto& [rank, rs] : *ranks) EXPECT_TRUE(rs.finalized) << rank;
+  EXPECT_EQ(d.protocol_errors(), 0u);
+}
+
+/// Daemon absent at client startup: the whole run executes against a dead
+/// address (bounded buffering + reconnect backoff), the daemon starts only
+/// at the very end, and the job-end flush handshake still delivers every
+/// sample exactly once.
+TEST(Aggd, DaemonAbsentAtStartupFlushDelivers) {
+  simx::reset_default_context();
+  const std::string dir = test_dir("aggd_absent");
+  const std::string sock = "unix:" + dir + "/agg.sock";
+  ipm::Config cfg;
+  cfg.snapshot_interval = 0.25;
+  cfg.agg_addr = sock;
+  cfg.job_id = "absent-start";
+  cfg.agg_flush_timeout = 20.0;
+  ipm::job_begin(cfg, "./absent_job");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = 4;
+  mpisim::run_cluster(cluster, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    for (int i = 0; i < 20; ++i) {
+      simx::host_compute(0.06 + 0.002 * static_cast<double>(rank));
+      double x = 1.0;
+      double y = 0;
+      MPI_Allreduce(&x, &y, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+  });
+  // Only now does the daemon come up; job_end's socket flush must connect,
+  // stream the backlog and complete the end-of-job handshake.
+  ipm::aggd::Options opt;
+  opt.listen = sock;
+  opt.out_dir = dir;
+  opt.exit_after_jobs = 1;
+  DaemonRunner runner(opt);
+  ASSERT_TRUE(runner.start());
+  const ipm::JobProfile job = ipm::job_end();
+  runner.join();
+
+  ASSERT_EQ(job.ranks.size(), 4u);
+  EXPECT_TRUE(job.timeseries_file.empty());  // socket mode: no local JSONL
+  const std::vector<std::string> ids = runner.d.job_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], "absent-start");
+  expect_daemon_conserves(runner.d.job_timeseries_path("absent-start"), job);
+  const auto* ranks = runner.d.job_ranks("absent-start");
+  ASSERT_NE(ranks, nullptr);
+  ASSERT_EQ(ranks->size(), 4u);
+  std::uint64_t applied = 0;
+  for (const auto& [rank, rs] : *ranks) {
+    EXPECT_TRUE(rs.finalized) << rank;
+    applied += rs.samples;
+  }
+  EXPECT_EQ(applied, job.snapshot_samples());
+  const std::string prom = slurp(runner.d.prom_path());
+  EXPECT_NE(prom.find("ipm_agg_jobs_ended 1"), std::string::npos);
+}
+
+/// Mid-run connection kills (IPM_AGG_CHAOS_KILL_EVERY): the client loses
+/// the daemon every 5 sample frames, reconnects with epoch resume, and the
+/// daemon-side stream still conserves bit-exactly with zero double counts.
+TEST(Aggd, MidRunKillReconnectNoDoubleCount) {
+  simx::reset_default_context();
+  const std::string dir = test_dir("aggd_chaos");
+  const std::string sock = "unix:" + dir + "/agg.sock";
+  ipm::aggd::Options opt;
+  opt.listen = sock;
+  opt.out_dir = dir;
+  opt.exit_after_jobs = 1;
+  DaemonRunner runner(opt);
+  ASSERT_TRUE(runner.start());
+
+  ipm::Config cfg;
+  cfg.snapshot_interval = 0.25;
+  cfg.agg_addr = sock;
+  cfg.job_id = "chaos-8";
+  cfg.agg_chaos_kill_every = 5;
+  cfg.agg_flush_timeout = 20.0;
+  ipm::job_begin(cfg, "./chaos_job");
+  mpisim::ClusterConfig cluster;
+  cluster.ranks = 8;
+  mpisim::run_cluster(cluster, [](int rank) {
+    MPI_Init(nullptr, nullptr);
+    simx::Xoshiro256 rng(static_cast<std::uint64_t>(0xFEED + rank));
+    for (int i = 0; i < 40; ++i) {
+      simx::host_compute(0.05 + 1e-3 * static_cast<double>(rng.uniform_u64(40)));
+      double x = static_cast<double>(rank);
+      double y = 0;
+      MPI_Allreduce(&x, &y, 1, MPI_DOUBLE, MPI_SUM, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+  });
+  const ipm::JobProfile job = ipm::job_end();
+  runner.join();
+
+  ASSERT_EQ(job.ranks.size(), 8u);
+  // Enough frames flowed that the chaos injector provably fired (> 2 kills).
+  EXPECT_GT(job.snapshot_samples(), 10u);
+  expect_daemon_conserves(runner.d.job_timeseries_path("chaos-8"), job);
+  const auto* ranks = runner.d.job_ranks("chaos-8");
+  ASSERT_NE(ranks, nullptr);
+  ASSERT_EQ(ranks->size(), 8u);
+  std::uint64_t applied = 0;
+  for (const auto& [rank, rs] : *ranks) {
+    EXPECT_TRUE(rs.finalized) << rank;
+    applied += rs.samples;
+  }
+  EXPECT_EQ(applied, job.snapshot_samples());
+}
+
+/// Corrupt streams: a connection dropped mid-frame and a bad-version frame
+/// are both counted as protocol errors and nothing is ever partially
+/// applied — the hello-created job stays empty.
+TEST(Aggd, TruncatedAndCorruptFramesRejected) {
+  const std::string dir = test_dir("aggd_trunc");
+  const std::string sock = "unix:" + dir + "/agg.sock";
+  ipm::aggd::Options opt;
+  opt.listen = sock;
+  opt.out_dir = dir;
+  DaemonRunner runner(opt);
+  ASSERT_TRUE(runner.start());
+
+  {
+    // Valid hello, then a sample frame cut off mid-payload.
+    const int fd = connect_block(sock);
+    ASSERT_GE(fd, 0);
+    send_all(fd, frame_bytes(FrameType::kHello, "trunc", 0, 0,
+                             ipm::live::wire::hello_payload("./trunc", 0.5)));
+    const std::string s =
+        sample_bytes("trunc", make_sample(0, 0, 0.0, 0.5, "MPI_Bcast", 3, 96, 0.25));
+    send_all(fd, s.substr(0, s.size() - 7));
+    ipm::live::net::close_fd(fd);
+  }
+  {
+    // Corrupt version byte: the decoder is poisoned, the session dropped.
+    const int fd = connect_block(sock);
+    ASSERT_GE(fd, 0);
+    std::string bad =
+        sample_bytes("trunc", make_sample(0, 1, 0.5, 1.0, "MPI_Bcast", 1, 32, 0.1));
+    bad[4] = 99;  // version byte follows the u32 length
+    send_all(fd, bad);
+    ipm::live::net::close_fd(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  runner.d.stop();
+  runner.join();
+
+  EXPECT_GE(runner.d.protocol_errors(), 2u);
+  const auto* ranks = runner.d.job_ranks("trunc");
+  ASSERT_NE(ranks, nullptr);
+  // Neither damaged sample was applied — not even partially.
+  for (const auto& [rank, rs] : *ranks) EXPECT_EQ(rs.samples, 0u) << rank;
+  const ipm::live::TimeSeries ts =
+      ipm::live::read_timeseries_file(runner.d.job_timeseries_path("trunc"));
+  EXPECT_TRUE(ts.samples.empty());
+}
+
+/// Two concurrent jobs multiplexed into one daemon, with a mid-stream
+/// reconnect on one of them: per-job separation (files, merge, prom
+/// labels), epoch resume via WELCOME, and duplicate resends deduplicated.
+TEST(Aggd, TwoConcurrentJobsStaySeparate) {
+  const std::string dir = test_dir("aggd_twojobs");
+  const std::string sock = "unix:" + dir + "/agg.sock";
+  ipm::aggd::Options opt;
+  opt.listen = sock;
+  opt.out_dir = dir;
+  opt.exit_after_jobs = 2;
+  opt.fleet_interval = 0.5;
+  DaemonRunner runner(opt);
+  ASSERT_TRUE(runner.start());
+
+  const int fda = connect_block(sock);
+  const int fdb = connect_block(sock);
+  ASSERT_GE(fda, 0);
+  ASSERT_GE(fdb, 0);
+  Decoder deca;
+  Decoder decb;
+  Frame f;
+
+  // Interleaved hellos: a fresh daemon answers WELCOME with no resume state.
+  send_all(fda, frame_bytes(FrameType::kHello, "alpha", 0, 0,
+                            ipm::live::wire::hello_payload("./alpha", 0.5)));
+  send_all(fdb, frame_bytes(FrameType::kHello, "beta", 0, 0,
+                            ipm::live::wire::hello_payload("./beta", 0.5)));
+  ASSERT_TRUE(read_frame(fda, deca, f));
+  ASSERT_EQ(f.type, FrameType::kWelcome);
+  EXPECT_TRUE(ipm::live::wire::parse_welcome(f.payload).empty());
+  ASSERT_TRUE(read_frame(fdb, decb, f));
+  ASSERT_EQ(f.type, FrameType::kWelcome);
+
+  // Samples for both jobs, interleaved on the two sessions.
+  send_all(fda, sample_bytes("alpha", make_sample(0, 0, 0.0, 0.5, "MPI_Allreduce",
+                                                  4, 256, 0.125)));
+  send_all(fdb, sample_bytes("beta", make_sample(0, 0, 0.0, 0.5, "cudaMemcpy", 2,
+                                                 1024, 0.0625)));
+  send_all(fda, sample_bytes("alpha", make_sample(0, 1, 0.5, 1.0, "MPI_Allreduce",
+                                                  2, 128, 0.25)));
+  // Wait for alpha's acks so both samples are provably applied, then lose
+  // the connection (the daemon sees a clean EOF, pending() == 0).
+  std::uint64_t acked = 0;
+  while (acked < 2 && read_frame(fda, deca, f)) {
+    ASSERT_EQ(f.type, FrameType::kAck);
+    EXPECT_EQ(f.job, "alpha");
+    acked = f.epoch;
+  }
+  ASSERT_EQ(acked, 2u);
+  ipm::live::net::close_fd(fda);
+
+  // Reconnect: WELCOME must carry the resume epoch so the client prunes
+  // everything already applied.
+  const int fda2 = connect_block(sock);
+  ASSERT_GE(fda2, 0);
+  Decoder deca2;
+  send_all(fda2, frame_bytes(FrameType::kHello, "alpha", 0, 0,
+                             ipm::live::wire::hello_payload("./alpha", 0.5)));
+  ASSERT_TRUE(read_frame(fda2, deca2, f));
+  ASSERT_EQ(f.type, FrameType::kWelcome);
+  const auto resume = ipm::live::wire::parse_welcome(f.payload);
+  ASSERT_EQ(resume.size(), 1u);
+  EXPECT_EQ(resume[0].first, 0u);   // rank
+  EXPECT_EQ(resume[0].second, 2u);  // last applied epoch
+  // A conservative client resends its last unacked frame anyway: the epoch
+  // dedup turns it into a no-op instead of a double count.
+  send_all(fda2, sample_bytes("alpha", make_sample(0, 1, 0.5, 1.0, "MPI_Allreduce",
+                                                   2, 128, 0.25)));
+  send_all(fda2, sample_bytes("alpha", make_sample(0, 2, 1.0, 1.5, "MPI_Allreduce",
+                                                   1, 64, 0.5)));
+  send_all(fdb, sample_bytes("beta", make_sample(0, 1, 0.5, 1.0, "cudaMemcpy", 1,
+                                                 512, 0.125)));
+
+  // Finalize + end both jobs.
+  send_all(fda2, frame_bytes(FrameType::kRankFin, "alpha", 0, 4,
+                             R"({"samples":3,"drops":0})"));
+  send_all(fda2, frame_bytes(FrameType::kJobEnd, "alpha", 0, 0, ""));
+  send_all(fdb, frame_bytes(FrameType::kRankFin, "beta", 0, 3,
+                            R"({"samples":2,"drops":1})"));
+  send_all(fdb, frame_bytes(FrameType::kJobEnd, "beta", 0, 0, ""));
+  bool ended_a = false;
+  while (read_frame(fda2, deca2, f, 10.0)) {
+    if (f.type == FrameType::kJobEndAck) {
+      ended_a = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(ended_a);
+  runner.join();  // exit_after_jobs = 2
+  ipm::live::net::close_fd(fda2);
+  ipm::live::net::close_fd(fdb);
+
+  // Per-job transport state: alpha applied 3 samples, deduped 1 resend.
+  const auto* ra = runner.d.job_ranks("alpha");
+  const auto* rb = runner.d.job_ranks("beta");
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  ASSERT_EQ(ra->size(), 1u);
+  ASSERT_EQ(rb->size(), 1u);
+  EXPECT_EQ(ra->at(0).samples, 3u);
+  EXPECT_EQ(ra->at(0).resent, 1u);
+  EXPECT_EQ(ra->at(0).last_epoch, 4u);
+  EXPECT_TRUE(ra->at(0).finalized);
+  EXPECT_EQ(rb->at(0).samples, 2u);
+  EXPECT_EQ(rb->at(0).resent, 0u);
+  EXPECT_EQ(rb->at(0).drops, 1u);
+
+  // Job streams stay separate: each file carries only its own events.
+  const std::string path_a = runner.d.job_timeseries_path("alpha");
+  const std::string path_b = runner.d.job_timeseries_path("beta");
+  ASSERT_NE(path_a, path_b);
+  const ipm::live::TimeSeries ts_a = ipm::live::read_timeseries_file(path_a);
+  const ipm::live::TimeSeries ts_b = ipm::live::read_timeseries_file(path_b);
+  EXPECT_EQ(ts_a.command, "./alpha");
+  EXPECT_EQ(ts_b.command, "./beta");
+  ASSERT_EQ(ts_a.samples.size(), 3u);
+  ASSERT_EQ(ts_b.samples.size(), 2u);
+  std::uint64_t count_a = 0;
+  for (const ipm::live::Sample& s : ts_a.samples) {
+    for (const ipm::live::KeyDelta& d : s.deltas) {
+      EXPECT_EQ(d.name_str, "MPI_Allreduce");
+      count_a += d.dcount;
+    }
+  }
+  EXPECT_EQ(count_a, 7u);  // 4 + 2 + 1, the resend counted once
+  for (const ipm::live::Sample& s : ts_b.samples) {
+    for (const ipm::live::KeyDelta& d : s.deltas) {
+      EXPECT_EQ(d.name_str, "cudaMemcpy");
+    }
+  }
+  EXPECT_FALSE(ts_a.points.empty());
+  // The fleet stream merged both jobs in virtual time.
+  EXPECT_FALSE(
+      ipm::live::read_timeseries_file(runner.d.fleet_timeseries_path()).points.empty());
+
+  // One exposition, labelled per job and per rank.
+  const std::string prom = slurp(runner.d.prom_path());
+  EXPECT_NE(prom.find("ipm_agg_jobs 2"), std::string::npos);
+  EXPECT_NE(prom.find("ipm_agg_jobs_ended 2"), std::string::npos);
+  EXPECT_NE(prom.find("ipm_agg_rank_samples_total{job=\"alpha\",rank=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ipm_agg_rank_samples_total{job=\"beta\",rank=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ipm_agg_rank_resent_total{job=\"alpha\",rank=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ipm_agg_rank_drops_total{job=\"beta\",rank=\"0\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace

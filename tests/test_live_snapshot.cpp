@@ -20,10 +20,13 @@
 #include <tuple>
 #include <vector>
 
+#include "cudasim/control.hpp"
+#include "cudasim/kernel.hpp"
 #include "ipm/hashtable.hpp"
 #include "ipm/monitor.hpp"
 #include "ipm/report.hpp"
 #include "ipm_live/live.hpp"
+#include "ipm_live/merge.hpp"
 #include "mpisim/cluster.hpp"
 #include "mpisim/mpi.h"
 #include "simcommon/clock.hpp"
@@ -438,6 +441,137 @@ TEST(LiveSnapshot, FlopsModelMatchesOperandSizes) {
   EXPECT_DOUBLE_EQ(ipm::live::flops_per_call("cufftPlan1d", 1024),
                    5.0 * 1024 * 10);
   EXPECT_DOUBLE_EQ(ipm::live::flops_per_call("cufftExecC2C", 0), 0.0);
+}
+
+// --- adaptive snapshot cadence -----------------------------------------------
+
+TEST(LiveSnapshot, AdaptiveCadenceWidensUnderPressureAndRecovers) {
+  simx::reset_default_context();
+  ipm::Config cfg;
+  cfg.snapshot_interval = 0.25;
+  cfg.snapshot_log2_samples = 2;  // 4-slot channel: pressure is certain
+  cfg.timeseries_path = ::testing::TempDir() + "/live_adaptive_timeseries.jsonl";
+  ipm::job_begin(cfg, "./live_adaptive");
+  ipm::live::collector_stop();
+  ipm::Monitor* mon = ipm::monitor();
+  ASSERT_NE(mon, nullptr);
+  EXPECT_EQ(ipm::live::backoff_factor(*mon), 1u);
+  const ipm::NameId n = ipm::intern_name("adaptive_evt");
+  std::vector<ipm::live::Sample> samples;
+  // Nobody drains: occupancy crosses the 3/4 high-water mark, publishes get
+  // refused, and the grid multiplier doubles to its x64 cap.
+  for (int i = 0; i < 12; ++i) {
+    simx::host_compute(0.5);
+    mon->update(n, 1e-4, 0, 0);
+    ipm::live::capture(*mon);
+  }
+  EXPECT_EQ(ipm::live::backoff_factor(*mon), 64u);
+  // Recovery: with a consumer draining, occupancy sits at the low-water
+  // mark and the multiplier halves back to the base grid.
+  for (int i = 0; i < 12; ++i) {
+    for (ipm::live::Sample& s : ipm::live::drain(*mon)) samples.push_back(std::move(s));
+    simx::host_compute(0.5);
+    mon->update(n, 1e-4, 0, 0);
+    ipm::live::capture(*mon);
+  }
+  EXPECT_EQ(ipm::live::backoff_factor(*mon), 1u);
+  // Cadence adaptation changes only the sampling grid: the refused windows
+  // coalesced into later deltas, so conservation is untouched.
+  ipm::live::final_flush(*mon);
+  for (ipm::live::Sample& s : ipm::live::drain(*mon)) samples.push_back(std::move(s));
+  const ipm::RankProfile p = mon->snapshot();
+  expect_conserved(p, fold_samples(samples));
+  ipm::job_end();
+
+  // With IPM_SNAPSHOT_ADAPTIVE=0 the multiplier never moves.
+  simx::reset_default_context();
+  cfg.snapshot_adaptive = false;
+  ipm::job_begin(cfg, "./live_fixed");
+  ipm::live::collector_stop();
+  mon = ipm::monitor();
+  for (int i = 0; i < 12; ++i) {
+    simx::host_compute(0.5);
+    mon->update(n, 1e-4, 0, 0);
+    ipm::live::capture(*mon);
+  }
+  EXPECT_EQ(ipm::live::backoff_factor(*mon), 1u);
+  ipm::job_end();
+}
+
+// --- device-counter ground truth ---------------------------------------------
+
+/// The operand-size GFLOP estimate (flops_per_call) validated against the
+/// simulator's exact hardware counters: a square-DGEMM-shaped kernel whose
+/// modelled flops equal the estimate makes the ratio exactly 1, and both
+/// streams fold bit-exactly into samples and ClusterPoints.
+TEST(LiveSnapshot, DeviceCounterGroundTruthMatchesFlopsEstimate) {
+  simx::reset_default_context();
+  cusim::reset();
+  ipm::Config cfg;
+  cfg.snapshot_interval = 0.25;
+  cfg.timeseries_path = ::testing::TempDir() + "/live_dev_timeseries.jsonl";
+  ipm::job_begin(cfg, "./live_dev");
+  ipm::live::collector_stop();
+  ipm::Monitor* mon = ipm::monitor();
+  ASSERT_NE(mon, nullptr);
+
+  constexpr int kN = 64;
+  constexpr double kFlopsPerCall = 2.0 * kN * kN * kN;  // square dgemm 2mnk
+  const cusim::KernelDef gemm{
+      "dgemm_sim",
+      {.flops_per_thread = kFlopsPerCall, .dram_bytes_per_thread = 3.0 * 8 * kN * kN},
+      nullptr};
+  const ipm::NameId name = ipm::intern_name("cublasDgemm");
+  std::vector<ipm::live::Sample> samples;
+  constexpr int kCalls = 24;
+  for (int i = 0; i < kCalls; ++i) {
+    // The wrapped launch also creates the ipm_cuda layer state, which
+    // registers the cusim-backed GpuProbe (one rank per node reports).
+    cusim::launch(gemm, dim3{1, 1, 1}, dim3{1, 1, 1}, [](const cusim::LaunchGeom&) {});
+    simx::host_compute(0.1);
+    mon->update(name, 1e-3, 8 * kN * kN, 0);
+    if (i % 5 == 4) {
+      ipm::live::capture(*mon);
+      for (ipm::live::Sample& s : ipm::live::drain(*mon)) samples.push_back(std::move(s));
+    }
+  }
+  ASSERT_NE(ipm::live::gpu_probe(), nullptr);  // ipm_cuda layer registered it
+  ipm::live::final_flush(*mon);
+  for (ipm::live::Sample& s : ipm::live::drain(*mon)) samples.push_back(std::move(s));
+
+  double dev_flops = 0.0;
+  double dev_bytes = 0.0;
+  double est_flops = 0.0;
+  for (const ipm::live::Sample& s : samples) {
+    dev_flops += s.ddev_flops;
+    dev_bytes += s.ddev_bytes;
+    for (const ipm::live::KeyDelta& d : s.deltas) est_flops += d.dflops;
+  }
+  const cusim::DeviceCounters truth = cusim::device_counters(0, 0);
+  EXPECT_GT(truth.flops, 0.0);
+  // Conserved deltas fold back to the cumulative counters bit-exactly.
+  EXPECT_EQ(dev_flops, truth.flops);
+  EXPECT_EQ(dev_bytes, truth.dram_bytes);
+  // Estimate vs ground truth: equal by construction of the kernel model.
+  ASSERT_GT(dev_flops, 0.0);
+  EXPECT_DOUBLE_EQ(est_flops / dev_flops, 1.0);
+
+  // Both streams reach the merged ClusterPoints (dev_flops/dev_bytes).
+  ipm::live::JobMerger merger(cfg.snapshot_interval);
+  for (const ipm::live::Sample& s : samples) merger.add_sample(s);
+  merger.finalize_rank(samples.front().rank);
+  std::vector<ipm::live::ClusterPoint> pts;
+  merger.emit_all(1, pts);
+  double pt_dev_flops = 0.0;
+  double pt_est_flops = 0.0;
+  for (const ipm::live::ClusterPoint& p : pts) {
+    pt_dev_flops += p.dev_flops;
+    pt_est_flops += p.flops;
+  }
+  EXPECT_EQ(pt_dev_flops, dev_flops);
+  EXPECT_DOUBLE_EQ(pt_est_flops / pt_dev_flops, 1.0);
+  ipm::job_end();
+  cusim::reset();
 }
 
 TEST(LiveSnapshot, SparklineScalesToPeak) {

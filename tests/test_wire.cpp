@@ -1,0 +1,210 @@
+// ipm_agg wire protocol (wire.hpp): frame codec round-trips, the strict
+// incremental decoder (truncation, bad version/type/length poisoning), the
+// hello/welcome payload helpers, and aggregator address parsing (net.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ipm_live/net.hpp"
+#include "ipm_live/wire.hpp"
+
+namespace {
+
+using ipm::live::wire::Decoder;
+using ipm::live::wire::Frame;
+using ipm::live::wire::FrameType;
+
+Frame sample_frame() {
+  Frame f;
+  f.type = FrameType::kSample;
+  f.rank = 7;
+  f.epoch = 0x0102030405060708ULL;
+  f.job = "hpl-16";
+  f.payload = R"({"type":"sample","rank":7,"seq":41})";
+  return f;
+}
+
+TEST(Wire, EncodeDecodeRoundTripsEveryFrameType) {
+  const FrameType types[] = {FrameType::kHello,   FrameType::kSample,
+                             FrameType::kRankFin, FrameType::kJobEnd,
+                             FrameType::kWelcome, FrameType::kAck,
+                             FrameType::kJobEndAck};
+  for (const FrameType t : types) {
+    Frame f = sample_frame();
+    f.type = t;
+    const std::string bytes = ipm::live::wire::encode(f);
+    Decoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out.type, t);
+    EXPECT_EQ(out.rank, f.rank);
+    EXPECT_EQ(out.epoch, f.epoch);
+    EXPECT_EQ(out.job, f.job);
+    EXPECT_EQ(out.payload, f.payload);
+    EXPECT_EQ(dec.pending(), 0u);
+    EXPECT_FALSE(dec.next(out));  // exactly one frame
+    EXPECT_TRUE(dec.error().empty());
+  }
+}
+
+TEST(Wire, DecoderReassemblesByteByByte) {
+  // Three frames, fed one byte at a time: the decoder must never yield a
+  // partial frame and must yield all three in order.
+  std::string stream;
+  for (int i = 0; i < 3; ++i) {
+    Frame f = sample_frame();
+    f.epoch = static_cast<std::uint64_t>(i + 1);
+    f.payload = std::string("p") + std::to_string(i);
+    stream += ipm::live::wire::encode(f);
+  }
+  Decoder dec;
+  std::vector<Frame> got;
+  for (const char c : stream) {
+    dec.feed(&c, 1);
+    Frame f;
+    while (dec.next(f)) got.push_back(f);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].epoch, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(got[i].payload, std::string("p") + std::to_string(i));
+  }
+  EXPECT_EQ(dec.pending(), 0u);
+}
+
+TEST(Wire, TruncatedFrameStaysPendingNeverPartiallyApplied) {
+  const std::string bytes = ipm::live::wire::encode(sample_frame());
+  Decoder dec;
+  dec.feed(bytes.data(), bytes.size() - 5);  // cut mid-payload
+  Frame out;
+  EXPECT_FALSE(dec.next(out));
+  EXPECT_TRUE(dec.error().empty());   // not an error — just incomplete
+  EXPECT_GT(dec.pending(), 0u);       // nonzero at EOF = truncated frame
+  // The remainder completes it.
+  dec.feed(bytes.data() + bytes.size() - 5, 5);
+  EXPECT_TRUE(dec.next(out));
+  EXPECT_EQ(out.payload, sample_frame().payload);
+}
+
+TEST(Wire, BadVersionPoisonsDecoder) {
+  std::string bytes = ipm::live::wire::encode(sample_frame());
+  bytes[4] = 99;  // version byte follows the u32 length
+  Decoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_FALSE(dec.next(out));
+  EXPECT_NE(dec.error().find("version"), std::string::npos);
+  // Poisoned: even valid follow-up bytes are refused.
+  const std::string good = ipm::live::wire::encode(sample_frame());
+  dec.feed(good.data(), good.size());
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(Wire, BadTypeAndBadLengthArePoisoned) {
+  {
+    std::string bytes = ipm::live::wire::encode(sample_frame());
+    bytes[5] = 'z';  // unknown frame type
+    Decoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    EXPECT_FALSE(dec.next(out));
+    EXPECT_NE(dec.error().find("type"), std::string::npos);
+  }
+  {
+    // Length below the fixed header is out of range.
+    std::string bytes = ipm::live::wire::encode(sample_frame());
+    bytes[0] = 3;
+    bytes[1] = bytes[2] = bytes[3] = 0;
+    Decoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    EXPECT_FALSE(dec.next(out));
+    EXPECT_NE(dec.error().find("length"), std::string::npos);
+  }
+  {
+    // Length above kMaxFrameLen is rejected before buffering 16 MiB.
+    std::string bytes = ipm::live::wire::encode(sample_frame());
+    bytes[0] = bytes[1] = bytes[2] = bytes[3] = static_cast<char>(0xff);
+    Decoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    EXPECT_FALSE(dec.next(out));
+    EXPECT_NE(dec.error().find("length"), std::string::npos);
+  }
+}
+
+TEST(Wire, JobLenOverrunIsRejected) {
+  std::string bytes = ipm::live::wire::encode(sample_frame());
+  bytes[6] = static_cast<char>(0xff);  // job_len low byte
+  bytes[7] = static_cast<char>(0xff);  // job_len high byte
+  Decoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_FALSE(dec.next(out));
+  EXPECT_NE(dec.error().find("job id"), std::string::npos);
+}
+
+TEST(Wire, EncodeEnforcesProtocolBounds) {
+  Frame f = sample_frame();
+  f.job.assign(ipm::live::wire::kMaxJobLen + 1, 'j');
+  EXPECT_THROW((void)ipm::live::wire::encode(f), std::invalid_argument);
+  f = sample_frame();
+  f.payload.assign(ipm::live::wire::kMaxFrameLen, 'p');
+  EXPECT_THROW((void)ipm::live::wire::encode(f), std::invalid_argument);
+}
+
+TEST(Wire, WelcomePayloadRoundTrips) {
+  const std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs = {
+      {0, 12}, {3, 0}, {15, 0xffffffffffULL}};
+  const auto back =
+      ipm::live::wire::parse_welcome(ipm::live::wire::welcome_payload(epochs));
+  ASSERT_EQ(back.size(), epochs.size());
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    EXPECT_EQ(back[i].first, epochs[i].first);
+    EXPECT_EQ(back[i].second, epochs[i].second);
+  }
+  EXPECT_TRUE(ipm::live::wire::parse_welcome("{}").empty());
+  EXPECT_TRUE(ipm::live::wire::parse_welcome("not json at all").empty());
+}
+
+TEST(Wire, HelloPayloadEscapesCommand) {
+  const std::string p =
+      ipm::live::wire::hello_payload("./run \"x\" \\w", 0.25);
+  EXPECT_NE(p.find("\"ipm_agg\":1"), std::string::npos);
+  EXPECT_NE(p.find("\\\"x\\\""), std::string::npos);
+  EXPECT_NE(p.find("\"interval\":0.25"), std::string::npos);
+}
+
+// --- aggregator address parsing ----------------------------------------------
+
+TEST(Wire, ParseAddrForms) {
+  using ipm::live::net::Addr;
+  using ipm::live::net::parse_addr;
+  Addr a = parse_addr("unix:/tmp/agg.sock");
+  EXPECT_EQ(a.kind, Addr::Kind::kUnix);
+  EXPECT_EQ(a.path, "/tmp/agg.sock");
+  EXPECT_EQ(a.str(), "unix:/tmp/agg.sock");
+
+  a = parse_addr("tcp:127.0.0.1:9321");
+  EXPECT_EQ(a.kind, Addr::Kind::kTcp);
+  EXPECT_EQ(a.host, "127.0.0.1");
+  EXPECT_EQ(a.port, 9321);
+
+  a = parse_addr("localhost:80");  // host:port without the tcp: prefix
+  EXPECT_EQ(a.kind, Addr::Kind::kTcp);
+  EXPECT_EQ(a.host, "localhost");
+  EXPECT_EQ(a.port, 80);
+
+  a = parse_addr("/var/run/ipm.sock");  // bare path = unix
+  EXPECT_EQ(a.kind, Addr::Kind::kUnix);
+  EXPECT_EQ(a.path, "/var/run/ipm.sock");
+
+  EXPECT_FALSE(parse_addr("").valid());
+  EXPECT_FALSE(parse_addr("unix:").valid());
+  EXPECT_FALSE(parse_addr("tcp:host-without-port").valid());
+  EXPECT_FALSE(parse_addr("tcp:h:99999").valid());  // port out of range
+}
+
+}  // namespace
