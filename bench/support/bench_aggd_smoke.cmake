@@ -1,0 +1,104 @@
+# Run the fleetgen aggregation load generator at fleet scale and validate
+# the emitted BENCH_aggd.json against the ipm-bench-v1 schema (harness.hpp).
+# Invoked by the bench_aggd_smoke ctest entry:
+#   cmake -DBENCH_BIN=<exe> -DWORK_DIR=<dir> -P bench_aggd_smoke.cmake
+#
+# The binary itself enforces the hard gates (float math is easier there):
+#   * zero conservation violations, every rank finalized, applied ==
+#     jobs * ranks * samples (chaos resends deduplicated) — unconditional,
+#   * IPM_BENCH_AGGD_RATIO_MIN: daemon CPU-seconds per applied sample
+#     (samples_per_cpu_s) must beat the single-thread LegacyDaemon baseline
+#     by this factor under the identical offered load.
+#
+# Workload shape: a steady-state fleet.  2000 jobs x 5 ranks (10k total
+# ranks) trickle their snapshots over ~2400 paced ticks with phase-staggered
+# flushes, so most sessions are idle at any given daemon wake.  This is the
+# regime the sharded refactor targets: the seed daemon burns CPU per unit
+# wall time (poll walk + read walk + per-job emit scan + exposition rewrite
+# on every dirty loop) while the epoll daemon burns CPU per sample.  CPU
+# ratio, not wall throughput, is the gated figure of merit because on a
+# small CI host the shared load-generator thread bounds wall time for both.
+# The test is RUN_SERIAL, but a CPU ratio on a loaded host is still noisy,
+# so allow a couple of retries before declaring a regression.
+
+cmake_policy(VERSION 3.25)
+
+if(NOT BENCH_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "bench_aggd_smoke: BENCH_BIN and WORK_DIR are required")
+endif()
+
+set(gate_ok FALSE)
+foreach(attempt RANGE 1 3)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env IPM_BENCH_AGGD_RATIO_MIN=5.0
+            "${BENCH_BIN}" --jobs 2000 --ranks 5 --samples 4 --chaos-every 10
+            --inflight 2000 --pace-rounds 2400 --stagger 256
+            --out-dir "${WORK_DIR}/fleetgen_out"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    set(gate_ok TRUE)
+    break()
+  endif()
+  message(STATUS "bench_aggd_smoke: attempt ${attempt} failed (${rc}), retrying")
+endforeach()
+if(NOT gate_ok)
+  message(FATAL_ERROR "bench_aggd_smoke: conservation/speedup gate failed 3 attempts")
+endif()
+
+set(json_path "${WORK_DIR}/BENCH_aggd.json")
+if(NOT EXISTS "${json_path}")
+  message(FATAL_ERROR "bench_aggd_smoke: ${json_path} was not written")
+endif()
+file(READ "${json_path}" doc)
+
+string(JSON schema ERROR_VARIABLE err GET "${doc}" schema)
+if(err OR NOT schema STREQUAL "ipm-bench-v1")
+  message(FATAL_ERROR "bench_aggd_smoke: bad schema '${schema}' (${err})")
+endif()
+string(JSON suite ERROR_VARIABLE err GET "${doc}" suite)
+if(err OR NOT suite STREQUAL "aggd")
+  message(FATAL_ERROR "bench_aggd_smoke: bad suite '${suite}' (${err})")
+endif()
+string(JSON count ERROR_VARIABLE err LENGTH "${doc}" benchmarks)
+if(err OR count LESS 2)
+  message(FATAL_ERROR "bench_aggd_smoke: expected sharded + legacy entries (${err})")
+endif()
+
+set(seen_names "")
+math(EXPR last "${count} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON name ERROR_VARIABLE err GET "${doc}" benchmarks ${i} name)
+  if(err OR name STREQUAL "")
+    message(FATAL_ERROR "bench_aggd_smoke: benchmarks[${i}] has no name (${err})")
+  endif()
+  string(JSON iters ERROR_VARIABLE err GET "${doc}" benchmarks ${i} iterations)
+  if(err OR iters LESS 1)
+    message(FATAL_ERROR "bench_aggd_smoke: ${name}: bad iterations '${iters}' (${err})")
+  endif()
+  string(JSON ctype ERROR_VARIABLE err TYPE "${doc}" benchmarks ${i} counters)
+  if(err OR NOT ctype STREQUAL "OBJECT")
+    message(FATAL_ERROR "bench_aggd_smoke: ${name}: counters must be an object (${err})")
+  endif()
+  list(APPEND seen_names "${name}")
+endforeach()
+foreach(required aggd_sharded aggd_legacy)
+  if(NOT "${required}" IN_LIST seen_names)
+    message(FATAL_ERROR "bench_aggd_smoke: required benchmark '${required}' missing")
+  endif()
+endforeach()
+
+# The counters the trajectory tracks must be present on the sharded entry.
+foreach(required samples_per_s p99_apply_ns drop_rate resent
+        conservation_violations speedup_vs_legacy)
+  string(JSON v ERROR_VARIABLE err GET "${doc}" benchmarks 0 counters ${required})
+  if(err)
+    message(FATAL_ERROR "bench_aggd_smoke: counter '${required}' missing (${err})")
+  endif()
+endforeach()
+string(JSON violations GET "${doc}" benchmarks 0 counters conservation_violations)
+if(NOT violations EQUAL 0)
+  message(FATAL_ERROR "bench_aggd_smoke: ${violations} conservation violations")
+endif()
+
+message(STATUS "bench_aggd_smoke: ${count} benchmarks, schema ipm-bench-v1 OK")

@@ -1,15 +1,25 @@
-// ipm_aggd daemon core (see aggd.hpp): socket sessions, epoch-dedup apply,
-// per-job + fleet virtual-time merge, labelled Prometheus exposition.
+// Sharded ipm_aggd daemon core (see aggd.hpp): epoll IO thread routes
+// frames to per-job FIFO queues executed by a work-stealing pool; per-job
+// state is worker-exclusive (scheduled-flag protocol), the fleet merge
+// folds batches under one narrow mutex, idle jobs spill to disk, and slow
+// clients are disconnected on a bounded stall budget.
 #include "ipm_aggd/aggd.hpp"
 
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <utility>
 
+#include "aggd_util.hpp"
 #include "ipm_live/live.hpp"
 #include "simcommon/str.hpp"
 
@@ -18,75 +28,52 @@ namespace ipm::aggd {
 using live::wire::Frame;
 using live::wire::FrameType;
 
+using detail::kFleetStride;
+using detail::payload_command;
+using detail::payload_interval;
+using detail::payload_u64;
+using detail::prom_escape;
+using detail::sanitize;
+using detail::tail_job_id;
+
 namespace {
 
-/// Composite fleet-rank stride: job i's rank r merges as i*kStride + r, so
-/// per-rank provenance survives the fleet-wide watermark barrier.
-constexpr std::uint64_t kFleetStride = 1'000'000;
+/// last_active_ms sentinel: job is spilled or ended — never a spill
+/// candidate until a worker touches it again.
+constexpr std::int64_t kInactive = std::numeric_limits<std::int64_t>::max();
+// Cadence for per-job point emission from the worker (live tailing only;
+// terminal paths emit everything pending regardless).
+constexpr std::int64_t kJobEmitMs = 20;
 
-std::string sanitize(const std::string& id) {
-  std::string out;
-  out.reserve(id.size());
-  for (const char c : id) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
-    out += ok ? c : '_';
-  }
-  return out.empty() ? "job" : out;
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-std::string prom_escape(const std::string& s) {
+std::string line_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '\\' || c == '"') out += '\\';
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out += c;
+  for (const char ch : s) {
+    if (ch == '\\') out += "\\\\";
+    else if (ch == '\n') out += "\\n";
+    else out += ch;
   }
   return out;
 }
 
-double payload_interval(const std::string& p) {
-  const char* s = std::strstr(p.c_str(), "\"interval\":");
-  const double v = s != nullptr ? std::strtod(s + 11, nullptr) : 0.0;
-  return v > 0.0 ? v : 1.0;
-}
-
-std::string payload_command(const std::string& p) {
-  const char* s = std::strstr(p.c_str(), "\"command\":\"");
-  if (s == nullptr) return "?";
-  s += 11;
+std::string line_unescape(const std::string& s) {
   std::string out;
-  for (; *s != '\0' && *s != '"'; ++s) {
-    if (*s == '\\' && s[1] != '\0') ++s;
-    out += *s;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
   }
   return out;
-}
-
-std::uint64_t payload_u64(const std::string& p, const char* key) {
-  const std::string pat = simx::strprintf("\"%s\":", key);
-  const char* s = std::strstr(p.c_str(), pat.c_str());
-  return s != nullptr ? std::strtoull(s + pat.size(), nullptr, 10) : 0;
-}
-
-/// Job id for a tailed file: basename minus ".jsonl" and "_timeseries".
-std::string tail_job_id(const std::string& path) {
-  std::string stem = path;
-  const std::size_t slash = stem.find_last_of('/');
-  if (slash != std::string::npos) stem = stem.substr(slash + 1);
-  const auto strip = [&stem](const std::string& suffix) {
-    if (stem.size() > suffix.size() &&
-        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
-      stem.resize(stem.size() - suffix.size());
-    }
-  };
-  strip(".jsonl");
-  strip("_timeseries");
-  return stem.empty() ? "tail" : stem;
 }
 
 }  // namespace
@@ -96,8 +83,11 @@ Daemon::Daemon(Options opt)
       fleet_(opt_.fleet_interval > 0.0 ? opt_.fleet_interval : 1.0) {}
 
 Daemon::~Daemon() {
-  for (const auto& s : sessions_) live::net::close_fd(s->fd);
+  if (pool_) pool_->stop();
+  for (const auto& [fd, s] : sessions_) live::net::close_fd(fd);
   live::net::close_fd(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
 }
 
 bool Daemon::start(std::string& err) {
@@ -110,10 +100,23 @@ bool Daemon::start(std::string& err) {
     return false;
   }
   fleet_out_ << live::timeseries_header_line("fleet", fleet_.interval()) << '\n';
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    err = "cannot create epoll/eventfd";
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = event_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
   if (!opt_.listen.empty()) {
     const live::net::Addr addr = live::net::parse_addr(opt_.listen);
     listen_fd_ = live::net::listen_fd(addr, err);
     if (listen_fd_ < 0) return false;
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   }
   for (const std::string& path : opt_.tails) {
     Tail t;
@@ -126,18 +129,33 @@ bool Daemon::start(std::string& err) {
     }
     tails_.push_back(std::move(t));
   }
+  int nw = opt_.workers;
+  if (nw < 0) {
+    // A pool needs real parallelism to pay for the IO->worker handoff
+    // (enqueue futex + eventfd wake + two context switches per batch); on
+    // a single-core host serial mode, applying inline on the IO thread, is
+    // strictly faster.  An explicit workers count always wins.
+    const unsigned hc = std::thread::hardware_concurrency();
+    nw = hc >= 2 ? static_cast<int>(std::clamp(hc, 2u, 8u)) : 0;
+  }
+  if (nw > 0) pool_ = std::make_unique<WorkerPool>(static_cast<unsigned>(nw));
   write_prom();
   return true;
 }
 
-Daemon::Job& Daemon::get_job(const std::string& id, const std::string& command,
-                             double interval) {
+Daemon::Job& Daemon::get_or_create_job(const std::string& id,
+                                       const std::string& command,
+                                       double interval) {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
   const auto it = jobs_.find(id);
-  if (it != jobs_.end()) return it->second;
-  Job& job = jobs_[id];
+  if (it != jobs_.end()) return *it->second;
+  auto& slot = jobs_[id];
+  slot = std::make_unique<Job>();
+  Job& job = *slot;
   job.id = id;
-  job.command = command;
-  job.merger = std::make_unique<live::JobMerger>(interval > 0.0 ? interval : 1.0);
+  job.st.command = command;
+  job.st.merger =
+      std::make_unique<live::JobMerger>(interval > 0.0 ? interval : 1.0);
   job.ts_path = opt_.out_dir + "/" + sanitize(id) + "_timeseries.jsonl";
   // A tailed file in out_dir would be its own output: write beside it.
   for (const Tail& t : tails_) {
@@ -146,37 +164,227 @@ Daemon::Job& Daemon::get_job(const std::string& id, const std::string& command,
       break;
     }
   }
+  job.spill_path = job.ts_path + ".spill";
   job.fleet_base = fleet_next_base_;
   fleet_next_base_ += kFleetStride;
-  job.out.open(job.ts_path, std::ios::trunc);
-  if (!job.out) {
+  job.home = static_cast<unsigned>(n_jobs_.load(std::memory_order_relaxed));
+  job.st.out.open(job.ts_path, std::ios::trunc);
+  if (!job.st.out) {
     std::fprintf(stderr, "ipm_aggd: cannot open %s\n", job.ts_path.c_str());
   } else {
-    job.out << live::timeseries_header_line(command, job.merger->interval())
-            << '\n';
+    job.st.out << live::timeseries_header_line(command,
+                                               job.st.merger->interval())
+               << '\n';
   }
-  prom_dirty_ = true;
+  // Initial exposition snapshot so the job appears in ipm_agg.prom before
+  // its first batch completes (the worker refreshes it afterwards).
+  job.snap.items = prom_items(*job.st.merger, 0, /*up=*/true);
+  n_jobs_.fetch_add(1, std::memory_order_relaxed);
+  prom_dirty_.store(true, std::memory_order_relaxed);
   return job;
 }
 
+void Daemon::enqueue(Job& job, Work&& w) {
+  bool submit = false;
+  {
+    const std::lock_guard<std::mutex> lock(job.q_mu);
+    job.q.push_back(std::move(w));
+    if (!job.scheduled) {
+      job.scheduled = true;
+      submit = true;
+    }
+  }
+  if (!submit) return;
+  Job* jp = &job;
+  if (pool_) {
+    pool_->submit(job.home, [this, jp] { process_job(jp); });
+  } else {
+    process_job(jp);  // serial mode: apply inline on the IO thread
+  }
+}
+
+// --- worker side ------------------------------------------------------------
+
+void Daemon::process_job(Job* job) {
+  // The scheduled flag guarantees at most one invocation per job is alive,
+  // so everything below touches job->st without locks.  Loop until the
+  // queue is observed empty under q_mu, then clear the flag in the same
+  // critical section — an enqueue that saw scheduled=true has its work in
+  // the batch we are about to take, or will re-submit after we clear.
+  for (;;) {
+    std::deque<Work> batch;
+    {
+      const std::lock_guard<std::mutex> lock(job->q_mu);
+      if (job->q.empty()) {
+        job->scheduled = false;
+        return;
+      }
+      batch.swap(job->q);
+    }
+    handle_batch(*job, batch);
+  }
+}
+
+void Daemon::handle_batch(Job& job, std::deque<Work>& batch) {
+  JobState& st = job.st;
+  bool any_frame = false;
+  for (const Work& w : batch) {
+    if (w.kind == Work::Kind::kFrame) {
+      any_frame = true;
+      break;
+    }
+  }
+  if (st.spilled && any_frame) rehydrate_job(job);
+  FleetBatch fb;
+  bool wake = false;
+  for (Work& w : batch) {
+    if (w.kind == Work::Kind::kSpill) {
+      // Re-check under worker exclusivity; a frame in the same batch means
+      // the job is active again, so the spill request is stale.
+      if (!any_frame && !st.ended && !st.spilled) spill_job(job);
+      continue;
+    }
+    handle_frame(job, w, fb, wake);
+  }
+  // Per-job point emission is a live-tailing convenience, not a
+  // correctness step (end_job/shutdown emit_all everything pending), so
+  // run the bucket scan at a bounded cadence instead of per batch —
+  // trickling clients otherwise pay it per sample.
+  if (!st.ended && !st.spilled && any_frame) {
+    const std::int64_t nowm = now_ms();
+    if (st.last_emit_ms < 0 || nowm - st.last_emit_ms >= kJobEmitMs) {
+      emit_due_job(job);
+      st.last_emit_ms = nowm;
+    }
+  }
+  fold_fleet(fb);
+  // The snapshot only feeds the rate-limited exposition writer: rebuilding
+  // it (prom_items + a full rank-map copy) on every small batch dominates
+  // trickle-load CPU, so refresh at the prom cadence instead.  A terminal
+  // batch (job end) refreshes unconditionally; shutdown_flush re-snapshots
+  // every job post-drain, so final values are always exact.
+  if (!st.spilled) {
+    const std::int64_t nowm = now_ms();
+    if (st.ended || st.last_snap_ms < 0 ||
+        nowm - st.last_snap_ms >= std::max(opt_.prom_interval_ms, 0)) {
+      update_snap(job);
+      st.last_snap_ms = nowm;
+    }
+  }
+  prom_dirty_.store(true, std::memory_order_relaxed);
+  job.last_active_ms.store(st.spilled || st.ended ? kInactive : now_ms(),
+                           std::memory_order_relaxed);
+  if (wake) wake_io_lazy();
+}
+
+void Daemon::handle_frame(Job& job, Work& w, FleetBatch& fb, bool& wake) {
+  JobState& st = job.st;
+  Frame& f = w.frame;
+  const auto append_reply = [&](const std::string& bytes) {
+    if (!w.reply) return;
+    {
+      const std::lock_guard<std::mutex> lock(w.reply->mu);
+      if (w.reply->closed) return;
+      w.reply->buf += bytes;
+    }
+    w.reply->ready.store(true, std::memory_order_release);
+    wake = true;
+  };
+  const auto ensure_rank = [&](std::uint32_t rank) -> RankState& {
+    const auto [it, inserted] = st.ranks.try_emplace(rank);
+    if (inserted) {
+      fb.new_ranks.push_back(static_cast<int>(job.fleet_base + rank));
+    }
+    return it->second;
+  };
+  switch (f.type) {
+    case FrameType::kHello: {
+      // WELCOME: per-rank resume epochs, so the client prunes everything
+      // already applied and resends only the rest.
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs;
+      epochs.reserve(st.ranks.size());
+      for (const auto& [rank, rs] : st.ranks) {
+        epochs.emplace_back(rank, rs.last_epoch);
+      }
+      Frame welcome;
+      welcome.type = FrameType::kWelcome;
+      welcome.job = f.job;
+      welcome.payload = live::wire::welcome_payload(epochs);
+      append_reply(live::wire::encode(welcome));
+      break;
+    }
+    case FrameType::kSample: {
+      RankState& rs = ensure_rank(f.rank);
+      live::Sample s;
+      bool ok = live::parse_sample_line(f.payload, s);
+      if (!ok) {
+        // Non-canonical form (hand-built frame, older writer): fall back
+        // to the generic parser before rejecting.
+        live::TimeSeries tmp;
+        live::parse_timeseries_line(f.payload, tmp);
+        if (tmp.samples.size() == 1) {
+          s = std::move(tmp.samples.front());
+          ok = true;
+        }
+      }
+      if (ok) {
+        apply_sample(job, f.rank, f.epoch, std::move(s), f.payload, fb);
+      } else {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Frame a;
+      a.type = FrameType::kAck;
+      a.rank = f.rank;
+      a.epoch = rs.last_epoch;
+      a.job = f.job;
+      append_reply(live::wire::encode(a));
+      break;
+    }
+    case FrameType::kRankFin: {
+      RankState& rs = ensure_rank(f.rank);
+      finalize_rank(job, f.rank, f.epoch, f.payload, fb);
+      Frame a;
+      a.type = FrameType::kAck;
+      a.rank = f.rank;
+      a.epoch = rs.last_epoch;
+      a.job = f.job;
+      append_reply(live::wire::encode(a));
+      break;
+    }
+    case FrameType::kJobEnd: {
+      end_job(job, fb);
+      Frame a;
+      a.type = FrameType::kJobEndAck;
+      a.job = f.job;
+      append_reply(live::wire::encode(a));
+      break;
+    }
+    default:
+      break;  // filtered by route_frame
+  }
+}
+
 void Daemon::apply_sample(Job& job, std::uint32_t rank, std::uint64_t epoch,
-                          live::Sample&& s, const std::string& raw_line) {
-  RankState& rs = job.ranks[rank];
+                          live::Sample&& s, const std::string& raw_line,
+                          FleetBatch& fb) {
+  JobState& st = job.st;
+  RankState& rs = st.ranks[rank];
   if (epoch <= rs.last_epoch) {  // resend of an applied frame: dedupe
     rs.resent += 1;
     return;
   }
   rs.last_epoch = epoch;
   rs.samples += 1;
-  if (job.out) job.out << raw_line << '\n';
-  job.merger->add_sample(s);
+  if (st.out) st.out << raw_line << '\n';
+  st.merger->add_sample(s);
   s.rank = static_cast<int>(job.fleet_base + rank);
-  fleet_.add_sample(s);
+  fb.add.push_back(std::move(s));
 }
 
 void Daemon::finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
-                           const std::string& payload) {
-  RankState& rs = job.ranks[rank];
+                           const std::string& payload, FleetBatch& fb) {
+  JobState& st = job.st;
+  RankState& rs = st.ranks[rank];
   if (epoch != 0 && epoch <= rs.last_epoch && rs.finalized) {
     rs.resent += 1;
     return;
@@ -184,142 +392,253 @@ void Daemon::finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
   if (epoch > rs.last_epoch) rs.last_epoch = epoch;
   rs.finalized = true;
   rs.drops = payload_u64(payload, "drops");
-  job.merger->finalize_rank(static_cast<int>(rank));
-  fleet_.finalize_rank(static_cast<int>(job.fleet_base + rank));
-  prom_dirty_ = true;
+  st.merger->finalize_rank(static_cast<int>(rank));
+  fb.fin_ranks.push_back(static_cast<int>(job.fleet_base + rank));
 }
 
-void Daemon::emit_due(Job& job) {
-  std::vector<int> live_ranks;
-  for (const auto& [rank, rs] : job.ranks) {
-    if (!rs.finalized) live_ranks.push_back(static_cast<int>(rank));
-  }
-  std::vector<live::ClusterPoint> pts;
-  if (live_ranks.empty() && job.ranks.empty()) return;  // nothing seen yet
-  job.merger->emit_due(live_ranks, static_cast<int>(job.ranks.size()), pts);
-  if (pts.empty() || !job.out) return;
-  for (const live::ClusterPoint& p : pts) job.out << live::point_line(p) << '\n';
-  job.out.flush();
-  prom_dirty_ = true;
-}
-
-void Daemon::emit_fleet_due(bool all) {
-  std::vector<live::ClusterPoint> pts;
-  if (all) {
-    fleet_.emit_all(static_cast<int>(jobs_.size()), pts);
-  } else {
-    std::vector<int> live_ranks;
-    bool any_seen = false;
-    for (const auto& [id, job] : jobs_) {
-      any_seen = any_seen || !job.ranks.empty();
-      if (job.ended) continue;
-      for (const auto& [rank, rs] : job.ranks) {
-        if (!rs.finalized) {
-          live_ranks.push_back(static_cast<int>(job.fleet_base + rank));
-        }
-      }
-    }
-    if (!any_seen) return;
-    fleet_.emit_due(live_ranks, static_cast<int>(jobs_.size()), pts);
-  }
-  for (const live::ClusterPoint& p : pts) {
-    fleet_out_ << live::point_line(p) << '\n';
-  }
-  if (!pts.empty()) {
-    fleet_out_.flush();
-    prom_dirty_ = true;
-  }
-}
-
-void Daemon::end_job(Job& job) {
-  if (job.ended) return;
-  for (auto& [rank, rs] : job.ranks) {
+void Daemon::end_job(Job& job, FleetBatch& fb) {
+  JobState& st = job.st;
+  if (st.ended) return;
+  for (auto& [rank, rs] : st.ranks) {
     if (!rs.finalized) {
       rs.finalized = true;
-      job.merger->finalize_rank(static_cast<int>(rank));
-      fleet_.finalize_rank(static_cast<int>(job.fleet_base + rank));
+      st.merger->finalize_rank(static_cast<int>(rank));
+      fb.fin_ranks.push_back(static_cast<int>(job.fleet_base + rank));
     }
   }
   std::vector<live::ClusterPoint> pts;
-  job.merger->emit_all(static_cast<int>(job.ranks.size()), pts);
-  if (job.out) {
+  st.merger->emit_all(static_cast<int>(st.ranks.size()), pts);
+  if (st.out) {
     for (const live::ClusterPoint& p : pts) {
-      job.out << live::point_line(p) << '\n';
+      st.out << live::point_line(p) << '\n';
     }
-    job.out << live::end_line(job.merger->intervals_emitted()) << '\n';
-    job.out.flush();
+    st.out << live::end_line(st.merger->intervals_emitted()) << '\n';
+    st.out.flush();
   }
-  job.ended = true;
-  jobs_ended_ += 1;
-  prom_dirty_ = true;
+  st.ended = true;
+  jobs_ended_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Daemon::on_frame(Session& ses, const Frame& f) {
+void Daemon::emit_due_job(Job& job) {
+  JobState& st = job.st;
+  std::vector<int> live_ranks;
+  for (const auto& [rank, rs] : st.ranks) {
+    if (!rs.finalized) live_ranks.push_back(static_cast<int>(rank));
+  }
+  if (live_ranks.empty() && st.ranks.empty()) return;  // nothing seen yet
+  std::vector<live::ClusterPoint> pts;
+  st.merger->emit_due(live_ranks, static_cast<int>(st.ranks.size()), pts);
+  if (pts.empty() || !st.out) return;
+  for (const live::ClusterPoint& p : pts) st.out << live::point_line(p) << '\n';
+  st.out.flush();
+}
+
+void Daemon::fold_fleet(FleetBatch& fb) {
+  if (fb.empty()) return;
+  const std::lock_guard<std::mutex> lock(fleet_mu_);
+  if (!fb.new_ranks.empty()) fleet_any_ = true;
+  for (const int r : fb.new_ranks) fleet_live_.insert(r);
+  for (const live::Sample& s : fb.add) fleet_.add_sample(s);
+  for (const int r : fb.fin_ranks) {
+    fleet_.finalize_rank(r);
+    fleet_live_.erase(r);
+  }
+  if (!fb.new_ranks.empty() || !fb.fin_ranks.empty()) fleet_live_dirty_ = true;
+}
+
+void Daemon::update_snap(Job& job) {
+  JobState& st = job.st;
+  const std::lock_guard<std::mutex> lock(job.snap_mu);
+  job.snap.items =
+      prom_items(*st.merger, static_cast<int>(st.ranks.size()), !st.ended);
+  job.snap.ranks.assign(st.ranks.begin(), st.ranks.end());
+  job.snap.ended = st.ended;
+}
+
+void Daemon::spill_job(Job& job) {
+  JobState& st = job.st;
+  std::ofstream os(job.spill_path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "ipm_aggd: cannot open spill %s\n",
+                 job.spill_path.c_str());
+    return;
+  }
+  os << "ipm-aggd-spill-v1\n";
+  os << "command " << line_escape(st.command) << '\n';
+  os << "ranks " << st.ranks.size() << '\n';
+  for (const auto& [rank, rs] : st.ranks) {
+    os << simx::strprintf("rank %u %llu %llu %llu %llu %d\n", rank,
+                          static_cast<unsigned long long>(rs.last_epoch),
+                          static_cast<unsigned long long>(rs.samples),
+                          static_cast<unsigned long long>(rs.resent),
+                          static_cast<unsigned long long>(rs.drops),
+                          rs.finalized ? 1 : 0);
+  }
+  st.merger->serialize(os);
+  os << "end\n";
+  os.flush();
+  if (!os) {  // disk trouble: keep the job in memory
+    std::fprintf(stderr, "ipm_aggd: spill write failed for %s\n",
+                 job.id.c_str());
+    std::remove(job.spill_path.c_str());
+    return;
+  }
+  st.out.flush();
+  st.out.close();
+  st.merger.reset();
+  st.ranks.clear();
+  st.spilled = true;
+  spills_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::rehydrate_job(Job& job) {
+  JobState& st = job.st;
+  std::ifstream is(job.spill_path);
+  bool ok = static_cast<bool>(is);
+  std::string line;
+  if (ok) ok = std::getline(is, line) && line == "ipm-aggd-spill-v1";
+  if (ok) ok = std::getline(is, line) && line.compare(0, 8, "command ") == 0;
+  if (ok) st.command = line_unescape(line.substr(8));
+  std::size_t nranks = 0;
+  if (ok) {
+    ok = std::getline(is, line) &&
+         std::sscanf(line.c_str(), "ranks %zu", &nranks) == 1;
+  }
+  for (std::size_t i = 0; ok && i < nranks; ++i) {
+    unsigned rank = 0;
+    unsigned long long e = 0, sm = 0, rsnt = 0, dr = 0;
+    int fin = 0;
+    ok = std::getline(is, line) &&
+         std::sscanf(line.c_str(), "rank %u %llu %llu %llu %llu %d", &rank, &e,
+                     &sm, &rsnt, &dr, &fin) == 6;
+    if (ok) {
+      RankState& rs = st.ranks[rank];
+      rs.last_epoch = e;
+      rs.samples = sm;
+      rs.resent = rsnt;
+      rs.drops = dr;
+      rs.finalized = fin != 0;
+    }
+  }
+  if (ok) {
+    st.merger = std::make_unique<live::JobMerger>(1.0);
+    ok = st.merger->deserialize(is);
+  }
+  if (ok) ok = std::getline(is, line) && line == "end";
+  if (!ok) {
+    // Should not happen (we wrote the file); resume with fresh merge state
+    // rather than dying, but flag it loudly.
+    std::fprintf(stderr, "ipm_aggd: corrupt spill for %s — state reset\n",
+                 job.id.c_str());
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (!st.merger) st.merger = std::make_unique<live::JobMerger>(1.0);
+  }
+  is.close();
+  std::remove(job.spill_path.c_str());
+  st.out.open(job.ts_path, std::ios::app);
+  st.spilled = false;
+  rehydrations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Daemon::wake_io() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto r = ::write(event_fd_, &one, sizeof one);
+}
+
+void Daemon::wake_io_lazy() {
+  // Reply-ready nudge from a worker.  In serial mode the IO thread is the
+  // caller and flushes in the same loop pass — no syscall needed.  With a
+  // pool, coalesce: one eventfd write per IO wake, not one per batch.
+  if (!pool_) return;
+  if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) wake_io();
+}
+
+// --- IO thread --------------------------------------------------------------
+
+void Daemon::accept_pending() {
+  for (;;) {
+    const int fd = live::net::accept_fd(listen_fd_);
+    if (fd < 0) break;
+    if (opt_.session_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opt_.session_sndbuf,
+                   sizeof opt_.session_sndbuf);
+    }
+    auto ses = std::make_unique<Session>();
+    ses->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    sessions_.emplace(fd, std::move(ses));
+  }
+}
+
+void Daemon::route_frame(Session& ses, Frame&& f) {
+  const auto cached = [&ses](const std::string& id) -> Job* {
+    return ses.job_cache != nullptr && ses.job_cache_id == id ? ses.job_cache
+                                                              : nullptr;
+  };
+  const auto remember = [&ses](Job& job, const std::string& id) -> Job& {
+    ses.job_cache = &job;
+    ses.job_cache_id = id;
+    return job;
+  };
   switch (f.type) {
     case FrameType::kHello: {
-      Job& job = get_job(f.job, payload_command(f.payload),
-                         payload_interval(f.payload));
-      // WELCOME: per-rank resume epochs, so the client prunes everything
-      // already applied and resends only the rest.
-      std::vector<std::pair<std::uint32_t, std::uint64_t>> epochs;
-      epochs.reserve(job.ranks.size());
-      for (const auto& [rank, rs] : job.ranks) {
-        epochs.emplace_back(rank, rs.last_epoch);
-      }
-      Frame w;
-      w.type = FrameType::kWelcome;
-      w.job = f.job;
-      w.payload = live::wire::welcome_payload(epochs);
-      ses.outbuf += live::wire::encode(w);
+      Job& job = remember(get_or_create_job(f.job, payload_command(f.payload),
+                                            payload_interval(f.payload)),
+                          f.job);
+      Work w;
+      w.frame = std::move(f);
+      w.reply = ses.out;
+      enqueue(job, std::move(w));
       break;
     }
-    case FrameType::kSample: {
-      Job& job = get_job(f.job, "?", 0.0);
-      live::TimeSeries tmp;
-      live::parse_timeseries_line(f.payload, tmp);
-      if (tmp.samples.size() == 1) {
-        apply_sample(job, f.rank, f.epoch, std::move(tmp.samples.front()),
-                     f.payload);
-      } else {
-        protocol_errors_ += 1;  // SAMPLE payload that is not a sample line
-      }
-      Frame a;
-      a.type = FrameType::kAck;
-      a.rank = f.rank;
-      a.epoch = job.ranks[f.rank].last_epoch;
-      a.job = f.job;
-      ses.outbuf += live::wire::encode(a);
-      break;
-    }
+    case FrameType::kSample:
     case FrameType::kRankFin: {
-      Job& job = get_job(f.job, "?", 0.0);
-      finalize_rank(job, f.rank, f.epoch, f.payload);
-      Frame a;
-      a.type = FrameType::kAck;
-      a.rank = f.rank;
-      a.epoch = job.ranks[f.rank].last_epoch;
-      a.job = f.job;
-      ses.outbuf += live::wire::encode(a);
+      Job* jp = cached(f.job);
+      Job& job =
+          jp != nullptr ? *jp : remember(get_or_create_job(f.job, "?", 0.0), f.job);
+      Work w;
+      w.frame = std::move(f);
+      w.reply = ses.out;
+      enqueue(job, std::move(w));
       break;
     }
     case FrameType::kJobEnd: {
-      const auto it = jobs_.find(f.job);
-      if (it != jobs_.end()) end_job(it->second);
-      Frame a;
-      a.type = FrameType::kJobEndAck;
-      a.job = f.job;
-      ses.outbuf += live::wire::encode(a);
+      Job* job = cached(f.job);
+      if (job == nullptr) {
+        const std::lock_guard<std::mutex> lock(jobs_mu_);
+        const auto it = jobs_.find(f.job);
+        if (it != jobs_.end()) job = it->second.get();
+      }
+      if (job == nullptr) {
+        // Unknown job: ack directly, nothing to end (seed behavior).
+        Frame a;
+        a.type = FrameType::kJobEndAck;
+        a.job = f.job;
+        {
+          const std::lock_guard<std::mutex> lock(ses.out->mu);
+          ses.out->buf += live::wire::encode(a);
+        }
+        ses.out->ready.store(true, std::memory_order_release);
+      } else {
+        Work w;
+        w.frame = std::move(f);
+        w.reply = ses.out;
+        enqueue(*job, std::move(w));
+      }
       break;
     }
     default:
       // Daemon-to-client types arriving here are a protocol violation.
-      protocol_errors_ += 1;
-      ses.closed = true;
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      mark_closed(ses);
       break;
   }
 }
 
-void Daemon::pump_session(Session& ses) {
+void Daemon::read_session(Session& ses) {
   char buf[16384];
   bool eof = false;
   for (;;) {
@@ -332,32 +651,116 @@ void Daemon::pump_session(Session& ses) {
     ses.dec.feed(buf, static_cast<std::size_t>(r));
   }
   Frame f;
-  while (ses.dec.next(f)) on_frame(ses, f);
+  while (!ses.closed && ses.dec.next(f)) route_frame(ses, std::move(f));
   if (!ses.dec.error().empty()) {
     std::fprintf(stderr, "ipm_aggd: protocol error: %s\n",
                  ses.dec.error().c_str());
-    protocol_errors_ += 1;
-    ses.closed = true;
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    mark_closed(ses);
   } else if (eof) {
     // Bytes still pending after the drain are a truncated frame — rejected,
     // never partially applied (the decoder only yields complete frames).
     if (ses.dec.pending() > 0) {
-      protocol_errors_ += 1;
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       std::fprintf(stderr,
                    "ipm_aggd: connection dropped mid-frame (%zu bytes "
                    "discarded)\n",
                    ses.dec.pending());
     }
-    ses.closed = true;
+    mark_closed(ses);
   }
-  if (!ses.outbuf.empty() && !ses.closed) {
-    const long w =
-        live::net::write_some(ses.fd, ses.outbuf.data(), ses.outbuf.size());
-    if (w < 0) {
-      ses.closed = true;
-    } else {
-      ses.outbuf.erase(0, static_cast<std::size_t>(w));
+}
+
+void Daemon::mark_closed(Session& ses) {
+  if (ses.closed) return;
+  ses.closed = true;
+  // Deregister immediately: a dead fd left in the level-triggered epoll set
+  // storms EPOLLHUP on every wait until the next reap pass, turning the IO
+  // loop into a busy loop.  The fd itself is released by reap_sessions().
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ses.fd, nullptr);
+}
+
+void Daemon::set_write_interest(Session& ses, bool on) {
+  if (ses.want_write == on) return;
+  ses.want_write = on;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+  ev.data.fd = ses.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, ses.fd, &ev);
+}
+
+void Daemon::flush_session(Session& ses) {
+  if (ses.closed) return;
+  // Idle fast path: nothing staged and no worker appended since the last
+  // drain.  The flush pass runs over every session each wake, so this
+  // check must not take the mutex.  (want_write implies wbuf non-empty,
+  // so a session needing disarm never takes this branch.)
+  if (ses.wbuf.empty() &&
+      !ses.out->ready.load(std::memory_order_acquire)) {
+    return;
+  }
+  ses.out->ready.store(false, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(ses.out->mu);
+    if (!ses.out->buf.empty()) {
+      if (ses.wbuf.empty()) {
+        ses.wbuf = std::move(ses.out->buf);
+      } else {
+        ses.wbuf += ses.out->buf;
+      }
+      ses.out->buf.clear();
     }
+  }
+  if (ses.wbuf.empty()) {
+    ses.blocked = false;
+    set_write_interest(ses, false);
+    return;
+  }
+  const long w = live::net::write_some(ses.fd, ses.wbuf.data(), ses.wbuf.size());
+  if (w < 0) {
+    mark_closed(ses);
+    return;
+  }
+  if (w > 0) {
+    ses.wbuf.erase(0, static_cast<std::size_t>(w));
+    ses.blocked = false;
+  }
+  if (ses.wbuf.empty()) {
+    ses.blocked = false;
+    set_write_interest(ses, false);
+    return;
+  }
+  if (!ses.blocked) {
+    ses.blocked = true;
+    ses.stall_since = Clock::now();
+  }
+  set_write_interest(ses, true);
+  if (ses.wbuf.size() > opt_.session_outbuf_max) {
+    std::fprintf(stderr,
+                 "ipm_aggd: disconnecting stalled client (%zu outbound "
+                 "bytes queued)\n",
+                 ses.wbuf.size());
+    stalled_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    mark_closed(ses);
+  }
+}
+
+void Daemon::reap_sessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& ses = *it->second;
+    if (!ses.closed) {
+      ++it;
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(ses.out->mu);
+      ses.out->closed = true;  // workers stop appending replies
+      ses.out->buf.clear();
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, ses.fd, nullptr);
+    live::net::close_fd(ses.fd);
+    it = sessions_.erase(it);
+    prom_dirty_.store(true, std::memory_order_relaxed);
   }
 }
 
@@ -377,69 +780,129 @@ void Daemon::pump_tails() {
       live::TimeSeries tmp;
       const bool more = live::parse_timeseries_line(line, tmp);
       if (!more) {  // {"type":"end"}: the stream is complete
-        const auto it = jobs_.find(t.job);
-        if (it != jobs_.end()) end_job(it->second);
+        Job* job = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(jobs_mu_);
+          const auto it = jobs_.find(t.job);
+          if (it != jobs_.end()) job = it->second.get();
+        }
+        if (job != nullptr) {
+          Work w;
+          w.frame.type = FrameType::kJobEnd;
+          w.frame.job = t.job;
+          enqueue(*job, std::move(w));
+        }
         t.done = true;
         break;
       }
       if (tmp.interval > 0.0 && tmp.samples.empty() && tmp.points.empty()) {
-        get_job(t.job, tmp.command, tmp.interval);  // header line
+        get_or_create_job(t.job, tmp.command, tmp.interval);  // header line
         continue;
       }
       if (tmp.samples.size() == 1) {
-        live::Sample& s = tmp.samples.front();
-        Job& job = get_job(t.job, "?", 0.0);
-        const auto rank = static_cast<std::uint32_t>(s.rank);
-        const bool fin = s.final_flush;
+        const live::Sample& s = tmp.samples.front();
+        Job& job = get_or_create_job(t.job, "?", 0.0);
         // The file carries no epochs; seq+1 is the same monotone epoch the
         // socket client derives, so resumed tails dedupe identically.
-        apply_sample(job, rank, s.seq + 1, std::move(s), line);
-        if (fin) finalize_rank(job, rank, 0, "");
+        Work w;
+        w.frame.type = FrameType::kSample;
+        w.frame.rank = static_cast<std::uint32_t>(s.rank);
+        w.frame.epoch = s.seq + 1;
+        w.frame.job = t.job;
+        w.frame.payload = line;
+        const bool fin = s.final_flush;
+        enqueue(job, std::move(w));
+        if (fin) {
+          Work wf;
+          wf.frame.type = FrameType::kRankFin;
+          wf.frame.rank = static_cast<std::uint32_t>(s.rank);
+          wf.frame.epoch = 0;
+          wf.frame.job = t.job;
+          enqueue(job, std::move(wf));
+        }
       }
       // Emitted points in the file are ignored: the daemon re-derives them.
     }
   }
 }
 
-void Daemon::poll_once() {
-  std::vector<pollfd> fds;
-  fds.reserve(sessions_.size() + 1);
-  if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
-  for (const auto& s : sessions_) {
-    fds.push_back({s->fd,
-                   static_cast<short>(POLLIN | (s->outbuf.empty() ? 0 : POLLOUT)),
-                   0});
+void Daemon::maintenance() {
+  const Clock::time_point now = Clock::now();
+  // Stall budget + reap: O(sessions) scans, so run them at a bounded
+  // cadence rather than on every epoll wake.  A closed session lingers at
+  // most one period before its fd is released.
+  if (now >= maint_next_) {
+    maint_next_ = now + std::chrono::milliseconds(50);
+    // Stall budget: a client that stopped reading gets disconnected, never
+    // blocks the daemon.
+    for (auto& [fd, ses] : sessions_) {
+      if (ses->closed || !ses->blocked) continue;
+      const auto stalled =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - ses->stall_since)
+              .count();
+      if (stalled > opt_.stall_ms) {
+        std::fprintf(stderr,
+                     "ipm_aggd: disconnecting stalled client (no write "
+                     "progress for %lld ms)\n",
+                     static_cast<long long>(stalled));
+        stalled_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        mark_closed(*ses);
+      }
+    }
+    reap_sessions();
   }
-  if (!fds.empty()) {
-    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), opt_.poll_ms);
+  // Fleet emission under the narrow merge mutex, rate-limited.
+  if (now >= fleet_next_) {
+    // Fleet intervals are >= 1 virtual second; checking at 100ms keeps
+    // emission latency negligible while the O(fleet ranks) watermark scan
+    // stays off the per-wake path.
+    fleet_next_ = now + std::chrono::milliseconds(100);
+    std::vector<live::ClusterPoint> pts;
+    {
+      const std::lock_guard<std::mutex> lock(fleet_mu_);
+      if (fleet_any_) {
+        if (fleet_live_dirty_) {
+          fleet_live_vec_.assign(fleet_live_.begin(), fleet_live_.end());
+          fleet_live_dirty_ = false;
+        }
+        fleet_.emit_due(fleet_live_vec_,
+                        static_cast<int>(n_jobs_.load(std::memory_order_relaxed)),
+                        pts);
+        for (const live::ClusterPoint& p : pts) {
+          fleet_out_ << live::point_line(p) << '\n';
+        }
+        if (!pts.empty()) fleet_out_.flush();
+      }
+    }
+    if (!pts.empty()) prom_dirty_.store(true, std::memory_order_relaxed);
   }
-  if (listen_fd_ >= 0) {
-    for (;;) {
-      const int fd = live::net::accept_fd(listen_fd_);
-      if (fd < 0) break;
-      auto ses = std::make_unique<Session>();
-      ses->fd = fd;
-      sessions_.push_back(std::move(ses));
+  // Idle-job spill scan.
+  if (opt_.spill_idle_ms > 0 && now >= spill_next_) {
+    spill_next_ =
+        now + std::chrono::milliseconds(std::max(opt_.spill_idle_ms / 2, 5));
+    const std::int64_t cutoff = now_ms() - opt_.spill_idle_ms;
+    const std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (auto& [id, job] : jobs_) {
+      const std::int64_t la = job->last_active_ms.load(std::memory_order_relaxed);
+      if (la == 0 || la == kInactive || la >= cutoff) continue;
+      job->last_active_ms.store(kInactive, std::memory_order_relaxed);
+      Work w;
+      w.kind = Work::Kind::kSpill;
+      enqueue(*job, std::move(w));
     }
   }
-  for (const auto& s : sessions_) pump_session(*s);
-  std::erase_if(sessions_, [](const std::unique_ptr<Session>& s) {
-    if (!s->closed) return false;
-    live::net::close_fd(s->fd);
-    return true;
-  });
-  pump_tails();
-  for (auto& [id, job] : jobs_) {
-    if (!job.ended) emit_due(job);
-  }
-  emit_fleet_due(/*all=*/false);
-  if (prom_dirty_) {
+  // Exposition rewrite, rate-limited (the seed rewrote every dirty loop).
+  if (prom_dirty_.load(std::memory_order_relaxed) && now >= prom_next_) {
+    prom_next_ = now + std::chrono::milliseconds(
+                           std::max(opt_.prom_interval_ms, 0));
+    prom_dirty_.store(false, std::memory_order_relaxed);
     write_prom();
-    prom_dirty_ = false;
   }
 }
 
 void Daemon::write_prom() {
+  prom_writes_.fetch_add(1, std::memory_order_relaxed);
   const std::string tmp = prom_path_ + ".tmp";
   {
     std::ofstream os(tmp, std::ios::trunc);
@@ -449,37 +912,45 @@ void Daemon::write_prom() {
       std::snprintf(buf, sizeof buf, "%.17g", v);
       return buf;
     };
+    // Snapshot the job set (sorted by id, as the seed iterated its map).
+    struct JobSnap {
+      std::string id;
+      PromSnap snap;
+    };
+    std::vector<JobSnap> per_job;
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mu_);
+      per_job.reserve(jobs_.size());
+      for (const auto& [id, job] : jobs_) {
+        const std::lock_guard<std::mutex> snap_lock(job->snap_mu);
+        per_job.push_back({id, job->snap});
+      }
+    }
     os << "# HELP ipm_agg_jobs Jobs known to the aggregation daemon.\n"
           "# TYPE ipm_agg_jobs gauge\n"
-       << "ipm_agg_jobs " << jobs_.size() << '\n';
+       << "ipm_agg_jobs " << per_job.size() << '\n';
     os << "# HELP ipm_agg_jobs_ended Jobs that completed their stream.\n"
           "# TYPE ipm_agg_jobs_ended gauge\n"
-       << "ipm_agg_jobs_ended " << jobs_ended_ << '\n';
+       << "ipm_agg_jobs_ended " << jobs_ended_.load(std::memory_order_relaxed)
+       << '\n';
     os << "# HELP ipm_agg_connections Open client connections.\n"
           "# TYPE ipm_agg_connections gauge\n"
        << "ipm_agg_connections " << sessions_.size() << '\n';
     os << "# HELP ipm_agg_protocol_errors_total Rejected frames/streams.\n"
           "# TYPE ipm_agg_protocol_errors_total counter\n"
-       << "ipm_agg_protocol_errors_total " << protocol_errors_ << '\n';
+       << "ipm_agg_protocol_errors_total "
+       << protocol_errors_.load(std::memory_order_relaxed) << '\n';
     // Per-job metrics, grouped by metric name (one HELP/TYPE block, one
     // labelled sample per job — prom_items() has a fixed order).
-    std::vector<std::pair<const Job*, std::vector<live::PromItem>>> per_job;
-    per_job.reserve(jobs_.size());
-    for (const auto& [id, job] : jobs_) {
-      per_job.emplace_back(&job,
-                           prom_items(*job.merger,
-                                      static_cast<int>(job.ranks.size()),
-                                      /*up=*/!job.ended));
-    }
     if (!per_job.empty()) {
-      const std::size_t n_items = per_job.front().second.size();
+      const std::size_t n_items = per_job.front().snap.items.size();
       for (std::size_t i = 0; i < n_items; ++i) {
-        const live::PromItem& proto = per_job.front().second[i];
+        const live::PromItem& proto = per_job.front().snap.items[i];
         os << "# HELP " << proto.name << ' ' << proto.help << "\n# TYPE "
            << proto.name << (proto.counter ? " counter\n" : " gauge\n");
-        for (const auto& [job, items] : per_job) {
-          os << proto.name << "{job=\"" << prom_escape(job->id) << "\"} "
-             << num(items[i].value) << '\n';
+        for (const JobSnap& js : per_job) {
+          os << proto.name << "{job=\"" << prom_escape(js.id) << "\"} "
+             << num(js.snap.items[i].value) << '\n';
         }
       }
     }
@@ -504,29 +975,137 @@ void Daemon::write_prom() {
     for (const RankMetric& m : kRankMetrics) {
       os << "# HELP " << m.name << ' ' << m.help << "\n# TYPE " << m.name
          << (m.counter ? " counter\n" : " gauge\n");
-      for (const auto& [id, job] : jobs_) {
-        for (const auto& [rank, rs] : job.ranks) {
-          os << m.name << "{job=\"" << prom_escape(id) << "\",rank=\"" << rank
-             << "\"} " << rs.*m.field << '\n';
+      for (const JobSnap& js : per_job) {
+        for (const auto& [rank, rs] : js.snap.ranks) {
+          os << m.name << "{job=\"" << prom_escape(js.id) << "\",rank=\""
+             << rank << "\"} " << rs.*m.field << '\n';
         }
       }
     }
+    // Sharded-daemon health counters (additions over the seed exposition).
+    os << "# HELP ipm_agg_stalled_disconnects_total Sessions dropped for "
+          "blowing the outbound stall budget.\n"
+          "# TYPE ipm_agg_stalled_disconnects_total counter\n"
+       << "ipm_agg_stalled_disconnects_total "
+       << stalled_disconnects_.load(std::memory_order_relaxed) << '\n';
+    os << "# HELP ipm_agg_spills_total Idle jobs spilled to disk.\n"
+          "# TYPE ipm_agg_spills_total counter\n"
+       << "ipm_agg_spills_total " << spills_.load(std::memory_order_relaxed)
+       << '\n';
+    os << "# HELP ipm_agg_rehydrations_total Spilled jobs restored on new "
+          "traffic.\n"
+          "# TYPE ipm_agg_rehydrations_total counter\n"
+       << "ipm_agg_rehydrations_total "
+       << rehydrations_.load(std::memory_order_relaxed) << '\n';
+    os << "# HELP ipm_agg_worker_steals_total Batches run off their home "
+          "worker.\n"
+          "# TYPE ipm_agg_worker_steals_total counter\n"
+       << "ipm_agg_worker_steals_total " << (pool_ ? pool_->steals() : 0)
+       << '\n';
+    os << "# HELP ipm_agg_workers Worker threads (0 = serial mode).\n"
+          "# TYPE ipm_agg_workers gauge\n"
+       << "ipm_agg_workers " << (pool_ ? pool_->size() : 0) << '\n';
   }
   std::rename(tmp.c_str(), prom_path_.c_str());
 }
 
+void Daemon::drain_outbounds() {
+  // Best-effort post-drain flush so in-flight acks (e.g. JOB_END acks that
+  // triggered the shutdown) reach their clients before run() returns.
+  for (int round = 0; round < 200; ++round) {
+    bool pending = false;
+    bool progress = false;
+    for (auto& [fd, ses] : sessions_) {
+      if (ses->closed) continue;
+      {
+        const std::lock_guard<std::mutex> lock(ses->out->mu);
+        if (!ses->out->buf.empty()) {
+          ses->wbuf += ses->out->buf;
+          ses->out->buf.clear();
+        }
+      }
+      if (ses->wbuf.empty()) continue;
+      const long w =
+          live::net::write_some(ses->fd, ses->wbuf.data(), ses->wbuf.size());
+      if (w < 0) {
+        ses->closed = true;
+        continue;
+      }
+      if (w > 0) {
+        ses->wbuf.erase(0, static_cast<std::size_t>(w));
+        progress = true;
+      }
+      if (!ses->wbuf.empty()) pending = true;
+    }
+    if (!pending) return;
+    if (!progress) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 void Daemon::shutdown_flush() {
-  for (auto& [id, job] : jobs_) end_job(job);
-  emit_fleet_due(/*all=*/true);
-  fleet_out_ << live::end_line(fleet_.intervals_emitted()) << '\n';
-  fleet_out_.flush();
-  write_prom();
+  // Post-drain: the pool is quiescent, so job state is safe to touch from
+  // this thread (the drain gave us the happens-before edge).
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (auto& [id, job] : jobs_) {
+    if (job->st.spilled) rehydrate_job(*job);
+  }
+  for (auto& [id, job] : jobs_) {
+    FleetBatch fb;
+    end_job(*job, fb);
+    fold_fleet(fb);
+    update_snap(*job);
+  }
+  {
+    const std::lock_guard<std::mutex> fleet_lock(fleet_mu_);
+    std::vector<live::ClusterPoint> pts;
+    fleet_.emit_all(static_cast<int>(jobs_.size()), pts);
+    for (const live::ClusterPoint& p : pts) {
+      fleet_out_ << live::point_line(p) << '\n';
+    }
+    fleet_out_ << live::end_line(fleet_.intervals_emitted()) << '\n';
+    fleet_out_.flush();
+  }
 }
 
 void Daemon::run() {
+  std::vector<epoll_event> evs(128);
   while (!stop_.load(std::memory_order_relaxed)) {
-    poll_once();
-    if (opt_.exit_after_jobs > 0 && jobs_ended_ >= opt_.exit_after_jobs) break;
+    const int n = ::epoll_wait(epoll_fd_, evs.data(),
+                               static_cast<int>(evs.size()), opt_.poll_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_pending();
+      } else if (fd == event_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(event_fd_, &drain, sizeof drain) > 0) {
+        }
+        wake_pending_.store(false, std::memory_order_release);
+      } else {
+        const auto it = sessions_.find(fd);
+        if (it != sessions_.end()) {
+          if ((evs[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+            read_session(*it->second);
+          }
+          // Serial mode appends replies inline during read_session, and a
+          // blocked session wakes us with EPOLLOUT — either way only THIS
+          // session can have new outbound bytes, so flush it directly.
+          flush_session(*it->second);
+        }
+      }
+    }
+    // Pool mode: workers append replies asynchronously and signal via the
+    // eventfd without telling us which session, so retry every one.
+    if (pool_) {
+      for (auto& [fd, ses] : sessions_) flush_session(*ses);
+    }
+    pump_tails();
+    maintenance();
+    if (opt_.exit_after_jobs > 0 &&
+        jobs_ended_.load(std::memory_order_relaxed) >= opt_.exit_after_jobs) {
+      break;
+    }
     // Tail-only mode is done once every tailed stream ended.
     if (listen_fd_ < 0 && !tails_.empty()) {
       const bool all_done = std::all_of(tails_.begin(), tails_.end(),
@@ -534,17 +1113,23 @@ void Daemon::run() {
       if (all_done) break;
     }
   }
+  if (pool_) pool_->drain();
+  drain_outbounds();
   shutdown_flush();
+  write_prom();
+  if (pool_) pool_->stop();
 }
 
 std::string Daemon::fleet_timeseries_path() const { return fleet_path_; }
 
 std::string Daemon::job_timeseries_path(const std::string& job) const {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
   const auto it = jobs_.find(job);
-  return it == jobs_.end() ? std::string() : it->second.ts_path;
+  return it == jobs_.end() ? std::string() : it->second->ts_path;
 }
 
 std::vector<std::string> Daemon::job_ids() const {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
   std::vector<std::string> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(id);
@@ -553,8 +1138,9 @@ std::vector<std::string> Daemon::job_ids() const {
 
 const std::map<std::uint32_t, RankState>* Daemon::job_ranks(
     const std::string& job) const {
+  const std::lock_guard<std::mutex> lock(jobs_mu_);
   const auto it = jobs_.find(job);
-  return it == jobs_.end() ? nullptr : &it->second.ranks;
+  return it == jobs_.end() ? nullptr : &it->second->st.ranks;
 }
 
 }  // namespace ipm::aggd

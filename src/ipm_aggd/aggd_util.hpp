@@ -1,0 +1,83 @@
+// Internal helpers shared by the sharded daemon (aggd.cpp) and the
+// preserved single-threaded seed implementation (aggd_legacy.cpp).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "simcommon/str.hpp"
+
+namespace ipm::aggd::detail {
+
+/// Composite fleet-rank stride: job i's rank r merges as i*kStride + r, so
+/// per-rank provenance survives the fleet-wide watermark barrier.
+inline constexpr std::uint64_t kFleetStride = 1'000'000;
+
+inline std::string sanitize(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "job" : out;
+}
+
+inline std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+inline double payload_interval(const std::string& p) {
+  const char* s = std::strstr(p.c_str(), "\"interval\":");
+  const double v = s != nullptr ? std::strtod(s + 11, nullptr) : 0.0;
+  return v > 0.0 ? v : 1.0;
+}
+
+inline std::string payload_command(const std::string& p) {
+  const char* s = std::strstr(p.c_str(), "\"command\":\"");
+  if (s == nullptr) return "?";
+  s += 11;
+  std::string out;
+  for (; *s != '\0' && *s != '"'; ++s) {
+    if (*s == '\\' && s[1] != '\0') ++s;
+    out += *s;
+  }
+  return out;
+}
+
+inline std::uint64_t payload_u64(const std::string& p, const char* key) {
+  const std::string pat = simx::strprintf("\"%s\":", key);
+  const char* s = std::strstr(p.c_str(), pat.c_str());
+  return s != nullptr ? std::strtoull(s + pat.size(), nullptr, 10) : 0;
+}
+
+/// Job id for a tailed file: basename minus ".jsonl" and "_timeseries".
+inline std::string tail_job_id(const std::string& path) {
+  std::string stem = path;
+  const std::size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const auto strip = [&stem](const std::string& suffix) {
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      stem.resize(stem.size() - suffix.size());
+    }
+  };
+  strip(".jsonl");
+  strip("_timeseries");
+  return stem.empty() ? "tail" : stem;
+}
+
+}  // namespace ipm::aggd::detail

@@ -1,4 +1,4 @@
-// ipm_aggd: out-of-process cluster aggregation daemon.
+// ipm_aggd: out-of-process cluster aggregation daemon, sharded.
 //
 // Receives per-rank delta-sample streams from many monitored processes —
 // over the wire.hpp framed socket protocol (Unix-domain or TCP) or by
@@ -9,24 +9,45 @@
 //   out_dir/fleet_timeseries.jsonl   fleet-wide ClusterPoints (all jobs)
 //   prom_path (ipm_agg.prom)         one exposition, `job`/`rank` labels
 //
+// Architecture (fleet scale): one epoll (level-triggered) IO thread
+// accepts connections, reads/decodes frames, and routes each frame to its
+// job's FIFO work queue; a work-stealing worker pool (worker_pool.hpp)
+// executes the queues.  Every job is pinned to a home worker and a
+// scheduled-flag protocol keeps at most one batch per job in flight, so
+// per-job state — the JobMerger, rank epochs, the output stream — is
+// touched by exactly one thread at a time and needs no locks.  Fleet-wide
+// merging folds each batch's samples under one narrow mutex.  Responses
+// travel back through per-session outbound buffers with a bounded stall
+// budget (a client that stops reading is disconnected and counted, never
+// blocks the daemon).  Idle jobs spill their state to disk and rehydrate
+// on the next frame.
+//
 // Conservation: a sample frame is applied (written + merged) only when its
 // epoch exceeds the rank's last applied epoch, so client resends after a
 // reconnect are idempotent and folding a job's JSONL reproduces each
 // rank's finalize profile bit-exactly — the same invariant the in-process
-// collector guarantees (live.hpp).
+// collector guarantees (live.hpp).  Per-job FIFO order makes this hold
+// under sharding exactly as it did single-threaded.
 //
 // The daemon is a library class so tests run it in-process on a thread;
-// main.cpp wraps it into the `ipm_aggd` binary.
+// main.cpp wraps it into the `ipm_aggd` binary.  The pre-sharding
+// implementation is preserved as LegacyDaemon (aggd_legacy.hpp) as the
+// benchmark baseline.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "ipm_aggd/worker_pool.hpp"
 #include "ipm_live/merge.hpp"
 #include "ipm_live/net.hpp"
 #include "ipm_live/wire.hpp"
@@ -47,8 +68,26 @@ struct Options {
   std::vector<std::string> tails;
   /// Exit run() once this many jobs ended (0 = run until stop()).
   int exit_after_jobs = 0;
-  /// Socket poll timeout per loop iteration, in milliseconds.
+  /// IO loop wakeup budget per iteration, in milliseconds.
   int poll_ms = 2;
+  /// Worker threads: <0 auto-sizes from the host, 0 runs serial (frames
+  /// applied inline on the IO thread), >0 is an explicit pool size.
+  int workers = -1;
+  /// Spill a job's state to disk after this much idle wall time in
+  /// milliseconds (0 = never spill).
+  int spill_idle_ms = 0;
+  /// Disconnect a session once its queued outbound bytes exceed this.
+  std::size_t session_outbuf_max = 8u << 20;
+  /// Disconnect a session blocked on writes for this long (milliseconds).
+  int stall_ms = 5000;
+  /// SO_SNDBUF for accepted sockets (0 = kernel default; tests shrink it
+  /// to exercise the stall budget).
+  int session_sndbuf = 0;
+  /// Minimum milliseconds between exposition rewrites (the seed rewrote on
+  /// every dirty loop, which is quadratic at fleet scale: a full rewrite is
+  /// ~15 us per job).  Prometheus scrape intervals are >= 1 s, so a 1 s
+  /// floor loses nothing.
+  int prom_interval_ms = 1000;
 };
 
 /// Per-(job, rank) transport/resume state.
@@ -68,11 +107,13 @@ class Daemon {
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
-  /// Bind the listener and open the tails.  False + `err` on failure.
+  /// Bind the listener, open the tails, start the worker pool.  False +
+  /// `err` on failure.
   [[nodiscard]] bool start(std::string& err);
 
-  /// Serve until stop() or `exit_after_jobs` jobs ended.  Flushes every
-  /// open job and the fleet stream before returning.
+  /// Serve until stop() or `exit_after_jobs` jobs ended.  Drains the
+  /// worker pool and flushes every open job and the fleet stream before
+  /// returning.
   void run();
 
   /// Signal run() to return (callable from any thread).
@@ -88,25 +129,103 @@ class Daemon {
   [[nodiscard]] const std::map<std::uint32_t, RankState>* job_ranks(
       const std::string& job) const;
   /// Protocol violations observed (poisoned decoders, truncated frames).
-  [[nodiscard]] std::uint64_t protocol_errors() const { return protocol_errors_; }
+  [[nodiscard]] std::uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+  /// Sessions disconnected for blowing the outbound stall budget.
+  [[nodiscard]] std::uint64_t stalled_disconnects() const {
+    return stalled_disconnects_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spills() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rehydrations() const {
+    return rehydrations_.load(std::memory_order_relaxed);
+  }
+  /// Full exposition rewrites performed (rate-limited by prom_interval_ms).
+  [[nodiscard]] std::uint64_t prom_writes() const {
+    return prom_writes_.load(std::memory_order_relaxed);
+  }
+  /// Worker-pool tasks run off their home worker (0 in serial mode).
+  [[nodiscard]] std::uint64_t steals() const {
+    return pool_ ? pool_->steals() : 0;
+  }
+  [[nodiscard]] unsigned workers() const { return pool_ ? pool_->size() : 0; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Worker→session response channel.  Workers append encoded reply frames
+  /// under `mu`; the IO thread moves them into the session's write staging
+  /// buffer.  closed stops late appends after the socket is gone.
+  struct Outbound {
+    std::mutex mu;
+    std::string buf;
+    bool closed = false;
+    // Set (release) after appending, cleared by the IO thread before it
+    // drains: lets the flush pass skip idle sessions without taking mu.
+    std::atomic<bool> ready{false};
+  };
+
+  struct Job;
+
   struct Session {
     int fd = -1;
     live::wire::Decoder dec;
-    std::string outbuf;
+    std::shared_ptr<Outbound> out = std::make_shared<Outbound>();
+    std::string wbuf;         ///< IO-thread write staging
     bool closed = false;
+    bool want_write = false;  ///< EPOLLOUT currently armed
+    bool blocked = false;     ///< wbuf non-empty since stall_since
+    Clock::time_point stall_since{};
+    // Routing cache (IO-thread-owned): a session streams one job in
+    // practice, and jobs_ entries are never erased, so the pointer is
+    // stable — skips a jobs_mu_ lock + map lookup per frame.
+    Job* job_cache = nullptr;
+    std::string job_cache_id;
+  };
+
+  struct Work {
+    enum class Kind { kFrame, kSpill };
+    Kind kind = Kind::kFrame;
+    live::wire::Frame frame;
+    std::shared_ptr<Outbound> reply;  ///< null: tail-injected or spill
+  };
+
+  /// Exposition snapshot a worker publishes after each batch, so the IO
+  /// thread composes ipm_agg.prom without touching live job state.
+  struct PromSnap {
+    std::vector<live::PromItem> items;
+    std::vector<std::pair<std::uint32_t, RankState>> ranks;
+    bool ended = false;
+  };
+
+  /// Worker-exclusive job state (scheduled-flag protocol: at most one
+  /// batch per job in flight, so no lock needed).
+  struct JobState {
+    std::string command = "?";
+    std::ofstream out;
+    std::unique_ptr<live::JobMerger> merger;
+    std::map<std::uint32_t, RankState> ranks;
+    bool ended = false;
+    bool spilled = false;
+    std::int64_t last_snap_ms = -1;  ///< worker-owned: last PromSnap refresh
+    std::int64_t last_emit_ms = -1;  ///< worker-owned: last emit_due pass
   };
 
   struct Job {
     std::string id;
-    std::string command;
     std::string ts_path;
-    std::ofstream out;
-    std::unique_ptr<live::JobMerger> merger;
-    std::map<std::uint32_t, RankState> ranks;
-    std::uint64_t fleet_base = 0;  ///< composite-rank offset in the fleet merge
-    bool ended = false;
+    std::string spill_path;
+    std::uint64_t fleet_base = 0;  ///< composite-rank offset, fleet merge
+    unsigned home = 0;             ///< pinned worker
+    std::mutex q_mu;
+    std::deque<Work> q;      ///< guarded by q_mu
+    bool scheduled = false;  ///< guarded by q_mu: a batch is in flight
+    std::atomic<std::int64_t> last_active_ms{0};
+    JobState st;
+    std::mutex snap_mu;
+    PromSnap snap;
   };
 
   struct Tail {
@@ -116,36 +235,92 @@ class Daemon {
     bool done = false;
   };
 
-  Job& get_job(const std::string& id, const std::string& command,
-               double interval);
-  void apply_sample(Job& job, std::uint32_t rank, std::uint64_t epoch,
-                    live::Sample&& s, const std::string& raw_line);
-  void finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
-                     const std::string& payload);
-  void end_job(Job& job);
-  void emit_due(Job& job);
-  void emit_fleet_due(bool all);
-  void on_frame(Session& ses, const live::wire::Frame& f);
-  void pump_session(Session& ses);
+  /// Per-batch fleet-merge delta, folded under fleet_mu_ in one step.
+  struct FleetBatch {
+    std::vector<live::Sample> add;   ///< samples, rank already composite
+    std::vector<int> new_ranks;      ///< composite ranks first seen
+    std::vector<int> fin_ranks;      ///< composite ranks finalized
+    [[nodiscard]] bool empty() const {
+      return add.empty() && new_ranks.empty() && fin_ranks.empty();
+    }
+  };
+
+  // --- IO thread ------------------------------------------------------------
+  void accept_pending();
+  void read_session(Session& ses);
+  void flush_session(Session& ses);
+  void reap_sessions();
+  void set_write_interest(Session& ses, bool on);
+  void mark_closed(Session& ses);
+  void route_frame(Session& ses, live::wire::Frame&& f);
   void pump_tails();
-  void poll_once();
+  void maintenance();
   void write_prom();
   void shutdown_flush();
+  void drain_outbounds();
+
+  Job& get_or_create_job(const std::string& id, const std::string& command,
+                         double interval);
+  void enqueue(Job& job, Work&& w);
+
+  // --- worker side (exclusive per job via the scheduled flag) ---------------
+  void process_job(Job* job);
+  void handle_batch(Job& job, std::deque<Work>& batch);
+  void handle_frame(Job& job, Work& w, FleetBatch& fb, bool& wake);
+  void apply_sample(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                    live::Sample&& s, const std::string& raw_line,
+                    FleetBatch& fb);
+  void finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                     const std::string& payload, FleetBatch& fb);
+  void end_job(Job& job, FleetBatch& fb);
+  void emit_due_job(Job& job);
+  void fold_fleet(FleetBatch& fb);
+  void update_snap(Job& job);
+  void spill_job(Job& job);
+  void rehydrate_job(Job& job);
+  void wake_io();
+  void wake_io_lazy();
 
   Options opt_;
   std::string prom_path_;
+  std::string fleet_path_;
   int listen_fd_ = -1;
-  std::vector<std::unique_ptr<Session>> sessions_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::map<int, std::unique_ptr<Session>> sessions_;  ///< by fd (IO thread)
   std::vector<Tail> tails_;
-  std::map<std::string, Job> jobs_;
+
+  mutable std::mutex jobs_mu_;  ///< guards the jobs_ map + fleet_next_base_
+  std::map<std::string, std::unique_ptr<Job>> jobs_;
+  std::uint64_t fleet_next_base_ = 0;
+  std::atomic<std::size_t> n_jobs_{0};
+
+  std::unique_ptr<WorkerPool> pool_;  ///< null in serial mode (workers == 0)
+
+  std::mutex fleet_mu_;  ///< guards fleet_, fleet_out_, fleet_live_
   live::JobMerger fleet_;
   std::ofstream fleet_out_;
-  std::string fleet_path_;
-  int jobs_ended_ = 0;
-  std::uint64_t fleet_next_base_ = 0;
-  std::uint64_t protocol_errors_ = 0;
-  bool prom_dirty_ = false;
+  std::set<int> fleet_live_;  ///< composite ranks seen, not finalized
+  /// Cached copy of fleet_live_ for emit_due; rebuilt only when the set
+  /// changes (copying tens of thousands of set nodes per emission check
+  /// would dwarf the emission itself).
+  std::vector<int> fleet_live_vec_;
+  bool fleet_live_dirty_ = false;
+  bool fleet_any_ = false;    ///< any rank ever seen
+
+  std::atomic<int> jobs_ended_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> stalled_disconnects_{0};
+  std::atomic<std::uint64_t> spills_{0};
+  std::atomic<std::uint64_t> rehydrations_{0};
+  std::atomic<bool> prom_dirty_{false};
+  std::atomic<std::uint64_t> prom_writes_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> wake_pending_{false};  ///< a worker already wrote event_fd_
+  Clock::time_point prom_next_{};
+  Clock::time_point spill_next_{};
+  Clock::time_point fleet_next_{};
+  Clock::time_point maint_next_{};  ///< next stall-budget/reap scan
 };
 
 }  // namespace ipm::aggd

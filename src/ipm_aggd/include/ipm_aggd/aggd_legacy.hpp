@@ -1,0 +1,115 @@
+// LegacyDaemon: the single-threaded poll-loop aggregation daemon exactly as
+// it shipped before the sharded rewrite (aggd.hpp).  Preserved verbatim so
+// `bench/fleetgen` can measure the sharded daemon against the real seed
+// implementation rather than a synthetic stand-in; it shares Options and
+// RankState with the sharded Daemon and ignores the sharding knobs
+// (workers, spill, stall budget).  Not used by the `ipm_aggd` binary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ipm_aggd/aggd.hpp"
+#include "ipm_live/merge.hpp"
+#include "ipm_live/net.hpp"
+#include "ipm_live/wire.hpp"
+
+namespace ipm::aggd {
+
+class LegacyDaemon {
+ public:
+  explicit LegacyDaemon(Options opt);
+  ~LegacyDaemon();
+
+  LegacyDaemon(const LegacyDaemon&) = delete;
+  LegacyDaemon& operator=(const LegacyDaemon&) = delete;
+
+  /// Bind the listener and open the tails.  False + `err` on failure.
+  [[nodiscard]] bool start(std::string& err);
+
+  /// Serve until stop() or `exit_after_jobs` jobs ended.  Flushes every
+  /// open job and the fleet stream before returning.
+  void run();
+
+  /// Signal run() to return (callable from any thread).
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // --- introspection (not thread-safe: call after run() returned) ----------
+
+  [[nodiscard]] std::string prom_path() const { return prom_path_; }
+  [[nodiscard]] std::string fleet_timeseries_path() const;
+  /// Output JSONL path for a job id ("" when the job is unknown).
+  [[nodiscard]] std::string job_timeseries_path(const std::string& job) const;
+  [[nodiscard]] std::vector<std::string> job_ids() const;
+  [[nodiscard]] const std::map<std::uint32_t, RankState>* job_ranks(
+      const std::string& job) const;
+  /// Protocol violations observed (poisoned decoders, truncated frames).
+  [[nodiscard]] std::uint64_t protocol_errors() const { return protocol_errors_; }
+  /// Full exposition rewrites performed (one per dirty poll loop).
+  [[nodiscard]] std::uint64_t prom_writes() const { return prom_writes_; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    live::wire::Decoder dec;
+    std::string outbuf;
+    bool closed = false;
+  };
+
+  struct Job {
+    std::string id;
+    std::string command;
+    std::string ts_path;
+    std::ofstream out;
+    std::unique_ptr<live::JobMerger> merger;
+    std::map<std::uint32_t, RankState> ranks;
+    std::uint64_t fleet_base = 0;  ///< composite-rank offset in the fleet merge
+    bool ended = false;
+  };
+
+  struct Tail {
+    std::string path;
+    std::string job;
+    std::ifstream in;
+    bool done = false;
+  };
+
+  Job& get_job(const std::string& id, const std::string& command,
+               double interval);
+  void apply_sample(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                    live::Sample&& s, const std::string& raw_line);
+  void finalize_rank(Job& job, std::uint32_t rank, std::uint64_t epoch,
+                     const std::string& payload);
+  void end_job(Job& job);
+  void emit_due(Job& job);
+  void emit_fleet_due(bool all);
+  void on_frame(Session& ses, const live::wire::Frame& f);
+  void pump_session(Session& ses);
+  void pump_tails();
+  void poll_once();
+  void write_prom();
+  void shutdown_flush();
+
+  Options opt_;
+  std::string prom_path_;
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<Tail> tails_;
+  std::map<std::string, Job> jobs_;
+  live::JobMerger fleet_;
+  std::ofstream fleet_out_;
+  std::string fleet_path_;
+  int jobs_ended_ = 0;
+  std::uint64_t fleet_next_base_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  bool prom_dirty_ = false;
+  std::uint64_t prom_writes_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ipm::aggd

@@ -1,0 +1,87 @@
+// Work-stealing worker pool for the sharded aggregation daemon.
+//
+// Each worker owns a deque of tasks; submit(home, fn) pushes onto the home
+// worker's queue (jobs are *pinned*: every task of a job targets the same
+// home worker, so a job's state enjoys cache affinity), and an idle worker
+// steals from the back of a victim's queue before sleeping.  Stealing moves
+// only *which thread* runs a task — exclusivity per job is enforced one
+// level up by the daemon's scheduled-flag protocol (at most one task per
+// job is in flight at any time), which is what keeps per-job virtual-time
+// merging lock-free.
+//
+// drain() blocks until every queue is empty and no task is running; the
+// synchronization through the pool mutex gives the caller a happens-before
+// edge over everything the workers wrote, so post-drain single-threaded
+// access to job state is race-free (shutdown flush, test introspection).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ipm::aggd {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `n` worker threads (>= 1).  Threads start immediately.
+  explicit WorkerPool(unsigned n);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue `fn` on worker `home % size()`.  Thread-safe; tasks may
+  /// re-submit (a job rescheduling itself) including from worker threads.
+  void submit(unsigned home, Task fn);
+
+  /// Block until all queues are empty and no task is executing.  The caller
+  /// must guarantee no new external submissions race the drain (task
+  /// re-submission from within running tasks is fine — drain waits for
+  /// quiescence).
+  void drain();
+
+  /// drain(), then join every worker.  Idempotent.
+  void stop();
+
+  /// Tasks executed on a worker other than their home (contention signal).
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tasks_run() const noexcept {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::deque<Task> q;  ///< guarded by `mu_` (coarse; tasks are batches)
+  };
+
+  void run(unsigned me);
+  /// Pop own front, else steal a victim's back task.  Caller holds mu_.
+  bool pop_locked(unsigned me, Task& out);
+
+  std::vector<Queue> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   ///< workers sleep here
+  std::condition_variable drain_cv_;  ///< drain()/stop() sleep here
+  std::size_t queued_ = 0;            ///< tasks across all queues (mu_)
+  unsigned active_ = 0;               ///< tasks currently executing (mu_)
+  bool stop_ = false;                 ///< (mu_)
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+};
+
+}  // namespace ipm::aggd

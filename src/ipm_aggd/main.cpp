@@ -30,6 +30,11 @@ int usage(const char* argv0, int code) {
       "                          (file-transport fallback; repeatable)\n"
       "  --fleet-interval <s>    fleet-wide merge interval (default 1.0)\n"
       "  --exit-after-jobs <n>   exit once n jobs completed\n"
+      "  --workers <n>           worker threads (-1 auto, 0 serial)\n"
+      "  --spill-idle-ms <ms>    spill idle job state to disk (0 = never)\n"
+      "  --stall-ms <ms>         disconnect clients stalled this long\n"
+      "  --outbuf-max <bytes>    per-session outbound buffer bound\n"
+      "  --prom-interval-ms <ms> min gap between exposition rewrites\n"
       "\n"
       "Point monitored jobs at the daemon with IPM_AGG_ADDR=<addr> (plus\n"
       "IPM_SNAPSHOT=<interval> and an IPM_JOB_ID per job).  The daemon\n"
@@ -65,6 +70,17 @@ int main(int argc, char** argv) {
       opt.fleet_interval = std::strtod(value(), nullptr);
     } else if (arg == "--exit-after-jobs") {
       opt.exit_after_jobs = std::atoi(value());
+    } else if (arg == "--workers") {
+      opt.workers = std::atoi(value());
+    } else if (arg == "--spill-idle-ms") {
+      opt.spill_idle_ms = std::atoi(value());
+    } else if (arg == "--stall-ms") {
+      opt.stall_ms = std::atoi(value());
+    } else if (arg == "--outbuf-max") {
+      opt.session_outbuf_max =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--prom-interval-ms") {
+      opt.prom_interval_ms = std::atoi(value());
     } else if (arg == "-h" || arg == "--help") {
       return usage(argv[0], 0);
     } else {

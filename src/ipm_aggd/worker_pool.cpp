@@ -1,0 +1,88 @@
+// WorkerPool (worker_pool.hpp): per-worker deques + back-stealing under one
+// pool mutex.  Tasks are coarse (a batch of frames for one job), so the
+// mutex guards queue manipulation only — never the work itself.
+#include "ipm_aggd/worker_pool.hpp"
+
+#include <utility>
+
+namespace ipm::aggd {
+
+WorkerPool::WorkerPool(unsigned n) : workers_(n == 0 ? 1 : n) {
+  threads_.reserve(workers_.size());
+  for (unsigned i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] { run(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(unsigned home, Task fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    workers_[home % workers_.size()].q.push_back(std::move(fn));
+    queued_ += 1;
+  }
+  wake_cv_.notify_one();
+}
+
+bool WorkerPool::pop_locked(unsigned me, Task& out) {
+  Queue& own = workers_[me];
+  if (!own.q.empty()) {
+    out = std::move(own.q.front());
+    own.q.pop_front();
+    queued_ -= 1;
+    return true;
+  }
+  // Steal from the back of the first non-empty victim (scan is cheap: the
+  // pool is a handful of workers, and a steal only happens when idle).
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Queue& victim = workers_[(me + k) % workers_.size()];
+    if (victim.q.empty()) continue;
+    out = std::move(victim.q.back());
+    victim.q.pop_back();
+    queued_ -= 1;
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void WorkerPool::run(unsigned me) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (pop_locked(me, task)) {
+      active_ += 1;
+      lock.unlock();
+      task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      task = nullptr;  // release captures before reacquiring the lock
+      lock.lock();
+      active_ -= 1;
+      if (queued_ == 0 && active_ == 0) drain_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    if (active_ == 0) drain_cv_.notify_all();
+    wake_cv_.wait(lock);
+  }
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+void WorkerPool::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace ipm::aggd

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -316,6 +317,14 @@ struct TimeSeries {
 /// command/interval; "end" returns false = stream complete; unknown types
 /// are ignored).  Incremental form of read_timeseries_file for --follow.
 bool parse_timeseries_line(const std::string& line, TimeSeries& ts);
+
+/// Fast single-pass parse of a canonical sample_line() record into `out`.
+/// Strict: accepts exactly the field order sample_line() emits (the hot
+/// ingest path of the aggregation daemon parses millions of these) and
+/// round-trips every field bit-exactly.  Returns false — with `out` in an
+/// unspecified state — on any deviation; callers then fall back to the
+/// generic parse_timeseries_line().
+[[nodiscard]] bool parse_sample_line(std::string_view line, Sample& out);
 
 /// Estimated flops of ONE call with this event name and per-call operand
 /// bytes (the paper's §III-D byte counts: m*n*esize for BLAS-3, n*esize

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
@@ -68,6 +69,15 @@ class JobMerger {
   [[nodiscard]] double emitted_virtual_seconds() const noexcept {
     return static_cast<double>(next_emit_) * interval_;
   }
+
+  /// Write the complete merge state (pending buckets, watermarks, totals,
+  /// last point) as text lines; %.17g round-trips keep every double
+  /// bit-exact.  Used by the daemon's idle-job disk spill.
+  void serialize(std::ostream& os) const;
+  /// Restore state written by serialize(), replacing *this entirely
+  /// (including the interval).  Returns false on malformed input, leaving
+  /// *this in an unspecified state.
+  [[nodiscard]] bool deserialize(std::istream& is);
 
  private:
   struct Bucket {

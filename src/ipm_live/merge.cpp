@@ -4,7 +4,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
 #include <limits>
+#include <ostream>
 
 #include "ipm/key.hpp"
 #include "simcommon/str.hpp"
@@ -28,8 +32,13 @@ Classified classify(const std::string& name) {
 }  // namespace
 
 void JobMerger::add_sample(const Sample& s) {
-  const std::uint64_t k =
+  std::uint64_t k =
       static_cast<std::uint64_t>(std::floor(std::max(0.0, s.t1) / interval_));
+  // A sample landing behind the emission cursor folds into the next emitted
+  // interval instead of stranding a bucket the emit loops can never consume
+  // (fleet merge: a job joins after quiescence already drained all buckets
+  // via emit_all, so its virtual time restarts behind next_emit_).
+  if (k < next_emit_) k = next_emit_;
   Bucket& b = buckets_[k];
   b.ranks.insert(s.rank);
   b.samples += 1;
@@ -140,6 +149,144 @@ void JobMerger::emit_all(int ranks_live, std::vector<ClusterPoint>& out) {
     out.push_back(emit_point(next_emit_, ranks_live));
     next_emit_ += 1;
   }
+}
+
+namespace {
+
+// Spill lines are newline-delimited, so region names only need '\\' and
+// '\n' escaped to stay line-safe.
+std::string spill_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '\\') out += "\\\\";
+    else if (ch == '\n') out += "\\n";
+    else out += ch;
+  }
+  return out;
+}
+
+std::string spill_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+using Ull = unsigned long long;
+
+}  // namespace
+
+void JobMerger::serialize(std::ostream& os) const {
+  os << simx::strprintf("merger interval=%.17g next_emit=%llu emitted=%llu\n",
+                        interval_, static_cast<Ull>(next_emit_),
+                        static_cast<Ull>(intervals_emitted_));
+  const MergeTotals& t = totals_;
+  os << simx::strprintf(
+      "totals %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g "
+      "%llu %llu %llu %llu\n",
+      t.mpi_s, t.cuda_s, t.gpu_s, t.idle_s, t.blas_s, t.fft_s, t.flops,
+      t.dev_flops, t.dev_bytes, static_cast<Ull>(t.mpi_bytes),
+      static_cast<Ull>(t.cuda_bytes), static_cast<Ull>(t.events),
+      static_cast<Ull>(t.samples));
+  os << "last " << point_line(last_) << "\n";
+  for (const auto& [rank, wm] : watermark_) {
+    os << simx::strprintf("wm %d %.17g\n", rank, wm);
+  }
+  for (const auto& [k, b] : buckets_) {
+    os << simx::strprintf(
+        "bucket %llu %llu %llu %llu %llu %.17g %.17g %.17g %.17g %.17g %.17g "
+        "%.17g %.17g %.17g\n",
+        static_cast<Ull>(k), static_cast<Ull>(b.samples),
+        static_cast<Ull>(b.devents), static_cast<Ull>(b.mpi_bytes),
+        static_cast<Ull>(b.cuda_bytes), b.mpi_s, b.cuda_s, b.gpu_s, b.idle_s,
+        b.blas_s, b.fft_s, b.flops, b.dev_flops, b.dev_bytes);
+    for (const int r : b.ranks) os << "brank " << r << "\n";
+    for (const auto& [name, fl] : b.region_flops) {
+      os << simx::strprintf("bregion %.17g %s\n", fl,
+                            spill_escape(name).c_str());
+    }
+  }
+  os << "merger_end\n";
+}
+
+bool JobMerger::deserialize(std::istream& is) {
+  buckets_.clear();
+  watermark_.clear();
+  totals_ = MergeTotals{};
+  last_ = ClusterPoint{};
+  std::string line;
+  Ull u0 = 0, u1 = 0, u2 = 0, u3 = 0, u4 = 0;
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "merger interval=%lg next_emit=%llu emitted=%llu",
+                  &interval_, &u0, &u1) != 3) {
+    return false;
+  }
+  next_emit_ = u0;
+  intervals_emitted_ = u1;
+  Bucket* cur = nullptr;
+  while (std::getline(is, line)) {
+    if (line == "merger_end") return true;
+    if (line.compare(0, 7, "totals ") == 0) {
+      MergeTotals& t = totals_;
+      if (std::sscanf(line.c_str(),
+                      "totals %lg %lg %lg %lg %lg %lg %lg %lg %lg "
+                      "%llu %llu %llu %llu",
+                      &t.mpi_s, &t.cuda_s, &t.gpu_s, &t.idle_s, &t.blas_s,
+                      &t.fft_s, &t.flops, &t.dev_flops, &t.dev_bytes, &u0, &u1,
+                      &u2, &u3) != 13) {
+        return false;
+      }
+      t.mpi_bytes = u0;
+      t.cuda_bytes = u1;
+      t.events = u2;
+      t.samples = u3;
+    } else if (line.compare(0, 5, "last ") == 0) {
+      TimeSeries ts;
+      parse_timeseries_line(line.substr(5), ts);
+      if (ts.points.size() != 1) return false;
+      last_ = std::move(ts.points.front());
+    } else if (line.compare(0, 3, "wm ") == 0) {
+      int rank = 0;
+      double wm = 0.0;
+      if (std::sscanf(line.c_str(), "wm %d %lg", &rank, &wm) != 2) return false;
+      watermark_[rank] = wm;
+    } else if (line.compare(0, 7, "bucket ") == 0) {
+      Bucket b;
+      if (std::sscanf(line.c_str(),
+                      "bucket %llu %llu %llu %llu %llu %lg %lg %lg %lg %lg "
+                      "%lg %lg %lg %lg",
+                      &u0, &u1, &u2, &u3, &u4, &b.mpi_s, &b.cuda_s, &b.gpu_s,
+                      &b.idle_s, &b.blas_s, &b.fft_s, &b.flops, &b.dev_flops,
+                      &b.dev_bytes) != 14) {
+        return false;
+      }
+      b.samples = u1;
+      b.devents = u2;
+      b.mpi_bytes = u3;
+      b.cuda_bytes = u4;
+      cur = &buckets_.emplace(u0, std::move(b)).first->second;
+    } else if (line.compare(0, 6, "brank ") == 0) {
+      if (cur == nullptr) return false;
+      cur->ranks.insert(std::atoi(line.c_str() + 6));
+    } else if (line.compare(0, 8, "bregion ") == 0) {
+      if (cur == nullptr) return false;
+      char* endp = nullptr;
+      const double fl = std::strtod(line.c_str() + 8, &endp);
+      if (endp == nullptr || *endp != ' ') return false;
+      cur->region_flops[spill_unescape(endp + 1)] = fl;
+    } else {
+      return false;
+    }
+  }
+  return false;  // truncated: no merger_end
 }
 
 std::vector<PromItem> prom_items(const JobMerger& m, int ranks_live, bool up) {

@@ -3,9 +3,11 @@
 #include "ipm_live/live.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
@@ -307,6 +309,92 @@ bool parse_timeseries_line(const std::string& line, TimeSeries& ts) {
     return false;
   }
   return true;
+}
+
+bool parse_sample_line(std::string_view line, Sample& out) {
+  const char* p = line.data();
+  const char* const end = p + line.size();
+  // lit() consumes `s` on match and leaves `p` untouched on mismatch, so it
+  // doubles as a probe for the optional fields ("gf"/"gb"/"f").
+  const auto lit = [&](std::string_view s) {
+    if (static_cast<std::size_t>(end - p) < s.size() ||
+        std::memcmp(p, s.data(), s.size()) != 0) {
+      return false;
+    }
+    p += s.size();
+    return true;
+  };
+  const auto parse_int = [&](auto& v) {
+    const auto [np, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc()) return false;
+    p = np;
+    return true;
+  };
+  const auto parse_dbl = [&](double& v) {
+    const auto [np, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc()) return false;
+    p = np;
+    return true;
+  };
+  const auto parse_str = [&](std::string& s) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    const char* const start = p;
+    bool escaped = false;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        escaped = true;
+        ++p;
+        if (p >= end) return false;
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    const std::string_view body(start, static_cast<std::size_t>(p - start));
+    s = escaped ? json_unescape(body) : std::string(body);
+    ++p;
+    return true;
+  };
+
+  out = Sample{};
+  int final_flag = 0;
+  if (!lit("{\"type\":\"sample\",\"rank\":") || !parse_int(out.rank) ||
+      !lit(",\"seq\":") || !parse_int(out.seq) || !lit(",\"t0\":") ||
+      !parse_dbl(out.t0) || !lit(",\"t1\":") || !parse_dbl(out.t1) ||
+      !lit(",\"final\":") || !parse_int(final_flag)) {
+    return false;
+  }
+  out.final_flush = final_flag != 0;
+  if (lit(",\"gf\":") && !parse_dbl(out.ddev_flops)) return false;
+  if (lit(",\"gb\":") && !parse_dbl(out.ddev_bytes)) return false;
+  if (!lit(",\"regions\":[")) return false;
+  if (p < end && *p != ']') {
+    for (;;) {
+      std::string region;
+      if (!parse_str(region)) return false;
+      out.regions.push_back(std::move(region));
+      if (!lit(",")) break;
+    }
+  }
+  if (!lit("],\"deltas\":[")) return false;
+  if (p < end && *p != ']') {
+    for (;;) {
+      KeyDelta d;
+      std::int32_t sel = 0;
+      if (!lit("{\"n\":") || !parse_str(d.name_str) || !lit(",\"r\":") ||
+          !parse_int(d.region) || !lit(",\"s\":") || !parse_int(sel) ||
+          !lit(",\"c\":") || !parse_int(d.dcount) || !lit(",\"b\":") ||
+          !parse_int(d.dbytes) || !lit(",\"t\":") || !parse_dbl(d.dtsum)) {
+        return false;
+      }
+      d.select = sel;
+      if (lit(",\"f\":") && !parse_dbl(d.dflops)) return false;
+      if (!lit("}")) return false;
+      out.deltas.push_back(std::move(d));
+      if (!lit(",")) break;
+    }
+  }
+  return lit("]}") && p == end;
 }
 
 TimeSeries read_timeseries_file(const std::string& path) {

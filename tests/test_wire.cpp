@@ -3,9 +3,13 @@
 // hello/welcome payload helpers, and aggregator address parsing (net.hpp).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "ipm_live/live.hpp"
 #include "ipm_live/net.hpp"
 #include "ipm_live/wire.hpp"
 
@@ -205,6 +209,261 @@ TEST(Wire, ParseAddrForms) {
   EXPECT_FALSE(parse_addr("unix:").valid());
   EXPECT_FALSE(parse_addr("tcp:host-without-port").valid());
   EXPECT_FALSE(parse_addr("tcp:h:99999").valid());  // port out of range
+}
+
+// --- seeded fuzz / property wall (ISSUE 7 satellite) -------------------------
+
+/// Deterministic pseudo-random sample for the round-trip property: every
+/// field the serializer can emit, including escapes in names/regions and
+/// the optional gf/gb/f fields.
+ipm::live::Sample random_sample(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> small(0, 5);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const char* names[] = {"MPI_Allreduce", "cudaMemcpy", "weird \"name\"\\n",
+                         "region:{a,b}", "MPI_Send"};
+  ipm::live::Sample s;
+  s.rank = small(rng);
+  s.seq = rng() % 1000;
+  s.t0 = uni(rng) * 3.0;
+  s.t1 = s.t0 + uni(rng);  // arbitrary doubles; %.17g must round-trip
+  s.final_flush = (rng() & 1) != 0;
+  if ((rng() & 3) == 0) s.ddev_flops = uni(rng) * 1e12;
+  if ((rng() & 3) == 0) s.ddev_bytes = uni(rng) * 1e9;
+  const int nregions = small(rng);
+  for (int i = 0; i < nregions; ++i) {
+    s.regions.push_back(std::string("phase-") + std::to_string(i) +
+                        ((rng() & 1) != 0 ? "\"q\"" : ""));
+  }
+  const int ndeltas = 1 + small(rng);
+  for (int i = 0; i < ndeltas; ++i) {
+    ipm::live::KeyDelta d;
+    d.name_str = names[rng() % (sizeof names / sizeof names[0])];
+    d.region = static_cast<std::uint32_t>(small(rng));
+    d.select = static_cast<std::int32_t>(small(rng)) - 2;
+    d.dcount = rng() % 100000;
+    d.dbytes = rng() % (1u << 30);
+    d.dtsum = uni(rng) * 10.0;
+    if ((rng() & 3) == 0) d.dflops = uni(rng) * 1e9;
+    s.deltas.push_back(std::move(d));
+  }
+  return s;
+}
+
+void expect_samples_equal(const ipm::live::Sample& a, const ipm::live::Sample& b) {
+  EXPECT_EQ(a.rank, b.rank);
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.t0, b.t0);  // bit-exact: %.17g round-trips IEEE doubles
+  EXPECT_EQ(a.t1, b.t1);
+  EXPECT_EQ(a.final_flush, b.final_flush);
+  EXPECT_EQ(a.ddev_flops, b.ddev_flops);
+  EXPECT_EQ(a.ddev_bytes, b.ddev_bytes);
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i], b.regions[i]);
+  }
+  ASSERT_EQ(a.deltas.size(), b.deltas.size());
+  for (std::size_t i = 0; i < a.deltas.size(); ++i) {
+    const ipm::live::KeyDelta& x = a.deltas[i];
+    const ipm::live::KeyDelta& y = b.deltas[i];
+    EXPECT_EQ(x.name_str.empty() ? std::string() : x.name_str, y.name_str);
+    EXPECT_EQ(x.region, y.region);
+    EXPECT_EQ(x.select, y.select);
+    EXPECT_EQ(x.dcount, y.dcount);
+    EXPECT_EQ(x.dbytes, y.dbytes);
+    EXPECT_EQ(x.dtsum, y.dtsum);
+    EXPECT_EQ(x.dflops, y.dflops);
+  }
+}
+
+/// Round-trip property: serialize -> fast parse AND serialize -> frame
+/// encode -> decode -> fast parse both reproduce every field bit-exactly,
+/// for randomized samples covering the serializer's whole surface.
+TEST(Wire, SampleRoundTripProperty) {
+  std::mt19937_64 rng(20260809u);
+  for (int iter = 0; iter < 300; ++iter) {
+    const ipm::live::Sample s = random_sample(rng);
+    const std::string line = ipm::live::sample_line(s);
+
+    ipm::live::Sample fast;
+    ASSERT_TRUE(ipm::live::parse_sample_line(line, fast)) << line;
+    expect_samples_equal(s, fast);
+
+    Frame f;
+    f.type = FrameType::kSample;
+    f.rank = static_cast<std::uint32_t>(s.rank);
+    f.epoch = s.seq + 1;
+    f.job = "prop-job";
+    f.payload = line;
+    const std::string bytes = ipm::live::wire::encode(f);
+    Decoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame out;
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out.payload, line);
+    ipm::live::Sample wired;
+    ASSERT_TRUE(ipm::live::parse_sample_line(out.payload, wired));
+    expect_samples_equal(s, wired);
+  }
+}
+
+/// A valid multi-frame stream for the mutator: hello + samples + fin + end.
+std::string build_stream(std::mt19937_64& rng, std::vector<Frame>& frames) {
+  frames.clear();
+  Frame h;
+  h.type = FrameType::kHello;
+  h.job = "fuzz-job";
+  h.payload = ipm::live::wire::hello_payload("./fuzz", 0.5);
+  frames.push_back(h);
+  const int nsamples = 2 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < nsamples; ++i) {
+    const ipm::live::Sample s = random_sample(rng);
+    Frame f;
+    f.type = FrameType::kSample;
+    f.rank = static_cast<std::uint32_t>(s.rank);
+    f.epoch = static_cast<std::uint64_t>(i) + 1;
+    f.job = "fuzz-job";
+    f.payload = ipm::live::sample_line(s);
+    frames.push_back(f);
+  }
+  Frame fin;
+  fin.type = FrameType::kRankFin;
+  fin.job = "fuzz-job";
+  fin.epoch = static_cast<std::uint64_t>(nsamples);
+  frames.push_back(fin);
+  Frame end;
+  end.type = FrameType::kJobEnd;
+  end.job = "fuzz-job";
+  frames.push_back(end);
+  std::string stream;
+  for (const Frame& f : frames) stream += ipm::live::wire::encode(f);
+  return stream;
+}
+
+/// Feed `bytes` to `dec` in random chunks, collecting every decoded frame.
+/// Verifies the poisoned-decoder contract along the way: once error() is
+/// set, next() never yields again.
+std::vector<Frame> drain_chunked(Decoder& dec, const std::string& bytes,
+                                 std::mt19937_64& rng) {
+  std::vector<Frame> out;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::size_t n =
+        std::min(bytes.size() - off, static_cast<std::size_t>(1 + rng() % 37));
+    dec.feed(bytes.data() + off, n);
+    off += n;
+    Frame f;
+    while (dec.next(f)) {
+      EXPECT_TRUE(dec.error().empty()) << "frame yielded after poisoning";
+      out.push_back(f);
+    }
+  }
+  if (!dec.error().empty()) {
+    Frame f;
+    EXPECT_FALSE(dec.next(f)) << "poisoned decoder must stay poisoned";
+  }
+  return out;
+}
+
+/// Interleaved partial writes of a VALID stream (arbitrary chunk
+/// boundaries) must reproduce every frame exactly — the reassembly
+/// property chaos-killed clients rely on.
+TEST(Wire, FuzzChunkedReassemblyLossless) {
+  std::mt19937_64 rng(1u);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Frame> frames;
+    const std::string stream = build_stream(rng, frames);
+    Decoder dec;
+    const std::vector<Frame> got = drain_chunked(dec, stream, rng);
+    EXPECT_TRUE(dec.error().empty());
+    EXPECT_EQ(dec.pending(), 0u);
+    ASSERT_EQ(got.size(), frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(got[i].type, frames[i].type);
+      EXPECT_EQ(got[i].rank, frames[i].rank);
+      EXPECT_EQ(got[i].epoch, frames[i].epoch);
+      EXPECT_EQ(got[i].job, frames[i].job);
+      EXPECT_EQ(got[i].payload, frames[i].payload);
+    }
+  }
+}
+
+/// Truncation at every possible byte offset: the decoder yields exactly the
+/// complete frame prefix, never poisons, and reports the cut as pending
+/// bytes (the daemon's EOF handler turns that into a protocol error).
+TEST(Wire, FuzzTruncationYieldsOnlyCompletePrefix) {
+  std::mt19937_64 rng(2u);
+  std::vector<Frame> frames;
+  const std::string stream = build_stream(rng, frames);
+  // Frame boundaries for the prefix-count oracle.
+  std::vector<std::size_t> ends;
+  {
+    std::size_t off = 0;
+    for (const Frame& f : frames) {
+      off += ipm::live::wire::encode(f).size();
+      ends.push_back(off);
+    }
+  }
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    Decoder dec;
+    dec.feed(stream.data(), cut);
+    std::size_t want = 0;
+    while (want < ends.size() && ends[want] <= cut) ++want;
+    Frame f;
+    std::size_t got = 0;
+    while (dec.next(f)) ++got;
+    EXPECT_EQ(got, want) << "cut at " << cut;
+    EXPECT_TRUE(dec.error().empty()) << "cut at " << cut;
+    EXPECT_EQ(dec.pending() > 0, cut != (want < ends.size() ? 0 : ends.back()) &&
+                                     (want == 0 ? cut > 0 : cut > ends[want - 1]))
+        << "cut at " << cut;
+  }
+}
+
+/// Seeded mutator: length-field lies, type flips, version skew, and random
+/// bit flips.  The decoder must never crash, never yield a frame after
+/// poisoning, never yield an out-of-contract frame (oversized job id), and
+/// must reject length lies that escape the frame bounds.
+TEST(Wire, FuzzMutatedStreamsNeverYieldMalformedFrames) {
+  std::mt19937_64 rng(3u);
+  int poisoned = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<Frame> frames;
+    std::string stream = build_stream(rng, frames);
+    const int mode = static_cast<int>(rng() % 4);
+    const std::size_t pos = rng() % stream.size();
+    switch (mode) {
+      case 0: {  // length-field lie on the first frame
+        std::uint32_t lie;
+        switch (rng() % 3) {
+          case 0: lie = ipm::live::wire::kMaxFrameLen + 1 + static_cast<std::uint32_t>(rng() % 1000); break;
+          case 1: lie = static_cast<std::uint32_t>(rng() % 8); break;  // < header
+          default: lie = static_cast<std::uint32_t>(rng() % stream.size()); break;
+        }
+        std::memcpy(stream.data(), &lie, sizeof lie);
+        break;
+      }
+      case 1:  // type flip to a random byte at a frame's type offset
+        stream[5] = static_cast<char>(rng() & 0xff);
+        break;
+      case 2:  // version skew
+        stream[4] = static_cast<char>(1 + rng() % 254);
+        break;
+      default:  // arbitrary bit flip anywhere
+        stream[pos] = static_cast<char>(stream[pos] ^ (1 << (rng() % 8)));
+        break;
+    }
+    Decoder dec;
+    const std::vector<Frame> got = drain_chunked(dec, stream, rng);
+    if (!dec.error().empty()) ++poisoned;
+    EXPECT_LE(got.size(), frames.size() + 4);  // a lie can resync mid-bytes,
+                                               // but never invents many frames
+    for (const Frame& f : got) {
+      EXPECT_LE(f.job.size(), ipm::live::wire::kMaxJobLen);
+      EXPECT_LE(f.payload.size(), ipm::live::wire::kMaxFrameLen);
+    }
+  }
+  // The mutator must actually exercise the poison path, not just no-ops.
+  EXPECT_GT(poisoned, 100);
 }
 
 }  // namespace
